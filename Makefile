@@ -1,0 +1,34 @@
+# Convenience targets for the tracepre reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the extension studies at the
+# full default budget (writes to stdout; takes a few minutes).
+experiments: build
+	$(GO) run ./cmd/tablegen -exp all
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/
+	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/asm/
+
+clean:
+	$(GO) clean ./...

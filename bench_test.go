@@ -1,0 +1,129 @@
+// Benchmarks regenerating the paper's evaluation artifacts at reduced
+// instruction budgets: one benchmark per table and figure. Run the full
+// budgets with cmd/tablegen; these exist so `go test -bench=.` exercises
+// every experiment end to end and reports its cost.
+package tracepre
+
+import (
+	"fmt"
+	"testing"
+
+	"tracepre/internal/core"
+)
+
+// benchBudget keeps testing.B iterations affordable while still
+// exercising warmup, phase changes and the preconstruction engine.
+const benchBudget = core.SmallBudget
+
+func BenchmarkFigure5Gcc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure5(benchBudget, []string{"gcc"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5Go(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure5(benchBudget, []string{"go"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5SmallWorkingSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure5(benchBudget, []string{"compress", "ijpeg"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTables123(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Tables123(benchBudget, []string{"gcc", "go"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure6(benchBudget, core.TimingBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure8(benchBudget, core.TimingBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-benchmark single-configuration runs, for profiling the simulator
+// itself on each workload class.
+func BenchmarkSimulate(b *testing.B) {
+	for _, bench := range core.Benchmarks() {
+		b.Run(bench, func(b *testing.B) {
+			cfg := core.PreconConfig(256, 256)
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunBenchmark(bench, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.TCMissPerKI(), "miss/KI")
+				}
+			}
+			b.SetBytes(int64(benchBudget))
+		})
+	}
+}
+
+func BenchmarkSimulateFullTiming(b *testing.B) {
+	cfg := core.TimingConfig(core.PreconConfig(128, 128), true)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunBenchmark("gcc", cfg, benchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(benchBudget))
+}
+
+// Example-style smoke check that the bench harness agrees with the
+// experiment registry.
+func TestBenchCoverageMatchesExperiments(t *testing.T) {
+	want := map[string]bool{"fig5": true, "tables123": true, "fig6": true, "fig8": true}
+	for _, e := range core.PaperExperiments() {
+		if !want[e.ID] {
+			t.Errorf("paper experiment %s has no bench coverage; add a Benchmark%s", e.ID, e.ID)
+		}
+	}
+	if len(core.PaperExperiments()) != len(want) {
+		t.Errorf("paper experiment count %d != covered %d", len(core.PaperExperiments()), len(want))
+	}
+	fmt.Fprintln(discard{}, "ok")
+}
+
+// BenchmarkExtensions exercises the beyond-the-paper studies at reduced
+// budget: the adaptive partition and the ablation sweeps.
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AdaptivePartitionStudy(benchBudget, []string{"gcc"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.PreconAblations(benchBudget, []string{"vortex"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.PredictorAblations(benchBudget, []string{"perl"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

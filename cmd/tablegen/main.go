@@ -1,0 +1,126 @@
+// Command tablegen regenerates the paper's evaluation artifacts: Figure
+// 5 (trace cache miss rates), Tables 1-3 (instruction cache supply),
+// Figure 6 (speedup from preconstruction), and Figure 8 (the extended
+// pipeline combining preconstruction with preprocessing).
+//
+// Usage:
+//
+//	tablegen -exp all -n 2000000
+//	tablegen -exp fig5 -bench gcc,go
+//	tablegen -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tracepre/internal/core"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig5, tables123, fig6, fig8, ext-*, ablation-*, all)")
+		n      = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
+		bench  = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		asJSON = flag.Bool("json", false, "emit structured JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var benches []string
+	if *bench != "" {
+		benches = strings.Split(*bench, ",")
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		out := map[string]interface{}{}
+		ids := []string{*exp}
+		if *exp == "all" {
+			ids = ids[:0]
+			for _, e := range core.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			v, err := runStructured(id, *n, benches)
+			if err != nil {
+				fail(err)
+			}
+			out[id] = v
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	run := func(e core.Experiment) {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		out, err := e.Run(*n, benches)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+
+	if *exp == "all" {
+		for _, e := range core.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := core.ExperimentByID(*exp)
+	if err != nil {
+		fail(err)
+	}
+	run(e)
+}
+
+// runStructured returns the typed result for an experiment id, for
+// JSON output.
+func runStructured(id string, n uint64, benches []string) (interface{}, error) {
+	pick := func(def []string) []string {
+		if benches != nil {
+			return benches
+		}
+		return def
+	}
+	switch id {
+	case "fig5":
+		return core.Figure5(n, pick(core.Benchmarks()))
+	case "tables123":
+		return core.Tables123(n, pick([]string{"gcc", "go"}))
+	case "fig6":
+		return core.Figure6(n, pick(core.TimingBenchmarks()))
+	case "fig8":
+		return core.Figure8(n, pick(core.TimingBenchmarks()))
+	case "ext-adaptive":
+		return core.AdaptivePartitionStudy(n, pick(core.TimingBenchmarks()))
+	case "ablation-precon":
+		return core.PreconAblations(n, pick([]string{"gcc", "vortex"}))
+	case "ablation-tpred":
+		return core.PredictorAblations(n, pick([]string{"gcc", "go", "perl"}))
+	case "sensitivity":
+		return core.Sensitivity(n, pick([]string{"gcc"}))
+	case "seeds":
+		return core.MultiSeed(n, pick([]string{"gcc", "vortex"}), 5)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,61 @@
+// extended-pipeline reproduces the paper's Figure 8 study for one
+// benchmark under the full timing model: preconstruction alone,
+// preprocessing alone, and their combination — showing that the
+// combination beats the sum of its parts because the two mechanisms
+// remove different bottlenecks (instruction supply vs execution
+// throughput).
+//
+//	go run ./examples/extended-pipeline [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tracepre/internal/core"
+)
+
+func main() {
+	bench := "vortex"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const budget = 500_000
+
+	res, err := core.Figure8(budget, []string{bench})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := res.Rows[0]
+
+	fmt.Printf("extended pipeline on %s (base: 256-entry trace cache, IPC %.3f)\n\n", bench, row.BaseIPC)
+	bars := []struct {
+		label string
+		pct   float64
+	}{
+		{"preconstruction (128 TC + 128 PB)", row.PreconPct},
+		{"preprocessing (256 TC)", row.PreprocPct},
+		{"combined", row.CombinedPct},
+		{"sum of parts (reference)", row.SumPct},
+	}
+	max := 1.0
+	for _, b := range bars {
+		if b.pct > max {
+			max = b.pct
+		}
+	}
+	for _, b := range bars {
+		n := int(b.pct / max * 40)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Printf("  %-34s |%-40s| %+.2f%%\n", b.label, strings.Repeat("#", n), b.pct)
+	}
+	if row.CombinedPct > row.SumPct {
+		fmt.Println("\nthe combination exceeds the sum of the individual speedups:")
+		fmt.Println("faster execution raises fetch pressure, which preconstruction")
+		fmt.Println("relieves; better fetch keeps the preprocessed windows full.")
+	}
+}

@@ -1,0 +1,3 @@
+module tracepre
+
+go 1.22

@@ -1,0 +1,428 @@
+// Package asm assembles textual assembly into program images, so tests,
+// examples and downstream users can write custom workloads without
+// driving the program.Builder by hand.
+//
+// Syntax (one statement per line, ';' or '#' start a comment):
+//
+//	        .org   0x1000          ; code base (must precede code)
+//	        .entry main            ; entry label (default: base)
+//	main:   addi  r1, r0, 3
+//	loop:   jal   sub
+//	        addi  r1, r1, -1
+//	        bne   r1, r0, loop
+//	        halt
+//	sub:    addi  r2, r2, 1
+//	        ret
+//	        .data  0x200000        ; data base
+//	        .word  1, 2, 0xff      ; literal data words
+//	        .addr  loop            ; data word holding a label address
+//
+// Mnemonics are those of package isa, plus the pseudo-instructions
+// li (load 32-bit constant, 2 instructions) and la (load label
+// address, 2 instructions). Memory operands use offset(reg) form.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+)
+
+// Assemble parses the source text and produces a program image.
+func Assemble(src string) (*program.Image, error) {
+	a := &assembler{}
+	for i, line := range strings.Split(src, "\n") {
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", i+1, err)
+		}
+	}
+	if a.b == nil {
+		a.b = program.NewBuilder(0)
+	}
+	im, err := a.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return im, nil
+}
+
+// MustAssemble assembles known-good source, panicking on error.
+func MustAssemble(src string) *program.Image {
+	im, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+type assembler struct {
+	b *program.Builder
+	// inData flips after .data: labels then bind to data positions.
+	inData bool
+}
+
+// builder lazily creates the Builder at base 0 when no .org was given.
+func (a *assembler) builder() *program.Builder {
+	if a.b == nil {
+		a.b = program.NewBuilder(0)
+	}
+	return a.b
+}
+
+func (a *assembler) line(raw string) error {
+	s := raw
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels: may share a line with an instruction.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,()") {
+			return fmt.Errorf("bad label %q", label)
+		}
+		if a.inData {
+			a.builder().LabelAt(label, a.builder().DataAddr())
+		} else {
+			a.builder().Label(label)
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	fields := strings.Fields(s)
+	op := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, p := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(p))
+		}
+	}
+	if strings.HasPrefix(op, ".") {
+		return a.directive(op, args)
+	}
+	return a.instruction(op, args)
+}
+
+func (a *assembler) directive(op string, args []string) error {
+	switch op {
+	case ".org":
+		if a.b != nil {
+			return fmt.Errorf(".org must precede all code")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf(".org needs one address")
+		}
+		base, err := parseUint(args[0])
+		if err != nil {
+			return err
+		}
+		a.b = program.NewBuilder(base)
+		return nil
+	case ".entry":
+		if len(args) != 1 {
+			return fmt.Errorf(".entry needs one label")
+		}
+		a.builder().SetEntry(args[0])
+		return nil
+	case ".data":
+		if len(args) != 1 {
+			return fmt.Errorf(".data needs one address")
+		}
+		base, err := parseUint(args[0])
+		if err != nil {
+			return err
+		}
+		a.builder().SetDataBase(base)
+		a.inData = true
+		return nil
+	case ".word":
+		if len(args) == 0 {
+			return fmt.Errorf(".word needs at least one value")
+		}
+		for _, arg := range args {
+			v, err := parseUint(arg)
+			if err != nil {
+				return err
+			}
+			a.builder().AddDataWord(v)
+		}
+		return nil
+	case ".addr":
+		if len(args) != 1 {
+			return fmt.Errorf(".addr needs one label")
+		}
+		a.builder().AddDataLabel(args[0])
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", op)
+}
+
+// opsByName maps mnemonics to plain register-register ALU opcodes.
+var aluRRR = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"shl": isa.OpShl, "shr": isa.OpShr, "slt": isa.OpSlt, "sltu": isa.OpSltu,
+}
+
+var aluRRI = map[string]isa.Op{
+	"addi": isa.OpAddI, "andi": isa.OpAndI, "ori": isa.OpOrI,
+	"xori": isa.OpXorI, "shli": isa.OpShlI, "shri": isa.OpShrI,
+}
+
+var branches = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt, "bge": isa.OpBge,
+}
+
+func (a *assembler) instruction(op string, args []string) error {
+	b := a.builder()
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	if o, ok := aluRRR[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(args[0])
+		ra, err2 := parseReg(args[1])
+		rb, err3 := parseReg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		b.ALU(o, rd, ra, rb)
+		return nil
+	}
+	if o, ok := aluRRI[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(args[0])
+		ra, err2 := parseReg(args[1])
+		imm, err3 := parseInt(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		b.ALUI(o, rd, ra, imm)
+		return nil
+	}
+	if o, ok := branches[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err1 := parseReg(args[0])
+		rb, err2 := parseReg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		// A numeric third operand (the disassembler's "+16"/"-8" form)
+		// is a raw displacement; otherwise it is a label.
+		if isNumeric(args[2]) {
+			imm, err := parseInt(args[2])
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Inst{Op: o, Ra: ra, Rb: rb, Imm: imm})
+			return nil
+		}
+		b.Branch(o, ra, rb, args[2])
+		return nil
+	}
+	switch op {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Nop()
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(args[0])
+		imm, err2 := parseInt(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+	case "lw", "sw":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err1 := parseReg(args[0])
+		base, off, err2 := parseMem(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		if op == "lw" {
+			b.Load(r, base, off)
+		} else {
+			b.Store(r, base, off)
+		}
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		jop := isa.OpJmp
+		if op == "jal" {
+			jop = isa.OpJal
+		}
+		// Numeric operands are absolute targets (the disassembler's
+		// "j 0x40" form); otherwise labels.
+		if isNumeric(args[0]) {
+			target, err := parseUint(args[0])
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Inst{Op: jop, Target: target})
+		} else if op == "j" {
+			b.Jmp(args[0])
+		} else {
+			b.Call(args[0])
+		}
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.JumpReg(r)
+	case "jalr":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.CallReg(r)
+	case "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Ret()
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(args[0])
+		v, err2 := parseUint(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		b.LoadConst(rd, v)
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.LoadAddr(rd, args[1])
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+// isNumeric reports whether the operand is a literal number (optionally
+// signed), as the disassembler emits for raw displacements and targets.
+func isNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	if s[0] == '+' || s[0] == '-' {
+		s = s[1:]
+	}
+	return len(s) > 0 && s[0] >= '0' && s[0] <= '9'
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return isa.RegSP, nil
+	case "fp":
+		return isa.RegFP, nil
+	case "ra":
+		return isa.RegLink, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseInt(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > 1<<31-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(v), nil
+}
+
+func parseUint(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return uint32(v), nil
+}
+
+// parseMem parses offset(reg) memory operands; a bare offset means r0.
+func parseMem(s string) (base uint8, off int32, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 {
+		off, err = parseInt(s)
+		return 0, off, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if open > 0 {
+		if off, err = parseInt(s[:open]); err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return base, off, err
+}

@@ -1,0 +1,209 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+)
+
+const loopSrc = `
+        .org   0x1000
+        .entry main
+; counted loop around a call
+main:   addi  r1, r0, 3
+loop:   jal   sub
+        addi  r1, r1, -1
+        bne   r1, r0, loop
+        halt
+sub:    addi  r2, r2, 1
+        ret
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	im, err := Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Base != 0x1000 {
+		t.Errorf("base = 0x%x", im.Base)
+	}
+	main, ok := im.Lookup("main")
+	if !ok || im.Entry != main {
+		t.Errorf("entry = 0x%x", im.Entry)
+	}
+	e := emulator.New(im)
+	if _, err := e.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Halted() {
+		t.Error("did not halt")
+	}
+	if e.Regs[2] != 3 {
+		t.Errorf("r2 = %d, want 3", e.Regs[2])
+	}
+}
+
+func TestAllFormats(t *testing.T) {
+	src := `
+        .org 0x2000
+        add   r1, r2, r3
+        sub   r1, r2, r3
+        mul   r1, r2, r3
+        div   r1, r2, r3
+        and   r1, r2, r3
+        or    r1, r2, r3
+        xor   r1, r2, r3
+        shl   r1, r2, r3
+        shr   r1, r2, r3
+        slt   r1, r2, r3
+        sltu  r1, r2, r3
+        addi  r1, r2, -5
+        andi  r1, r2, 0xff
+        ori   r1, r2, 7
+        xori  r1, r2, 7
+        shli  r1, r2, 3
+        shri  r1, r2, 3
+        lui   r1, 0x1234
+        lw    r4, 8(sp)
+        sw    r4, -8(fp)
+        lw    r4, 16(r0)
+        beq   r1, r2, end
+        bne   r1, r2, end
+        blt   r1, r2, end
+        bge   r1, r2, end
+        j     end
+        jal   end
+        jr    r5
+        jalr  r5
+        jr    ra
+        nop
+        li    r6, 0xdeadbeef
+        la    r7, end
+end:    ret
+        halt
+`
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 33 plain instructions (including ret and halt); li and la expand
+	// to two instructions each.
+	if im.NumInstrs() != 33+2+2 {
+		t.Errorf("instrs = %d", im.NumInstrs())
+	}
+	// `jr ra` must classify as a return.
+	found := false
+	for pc := im.Base; pc < im.End(); pc += 4 {
+		if in, _ := im.At(pc); in.Classify() == isa.ClassReturn && in.Ra == isa.RegLink {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("jr ra not assembled as return")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+        .org  0x1000
+        la    r1, target
+        lw    r2, 0(r3)
+        halt
+target: nop
+        .data 0x40000
+        .word 1, 2, 0x30
+        .addr target
+`
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.DataBase != 0x40000 || len(im.Data) != 4 {
+		t.Fatalf("data = 0x%x %v", im.DataBase, im.Data)
+	}
+	if im.Data[2] != 0x30 {
+		t.Errorf("data[2] = %d", im.Data[2])
+	}
+	target, _ := im.Lookup("target")
+	if im.Data[3] != target {
+		t.Errorf("addr word = 0x%x, want 0x%x", im.Data[3], target)
+	}
+}
+
+func TestMultipleLabelsAndInlineComments(t *testing.T) {
+	src := `
+a: b:   nop           ; two labels, one line
+c:      halt          # hash comment
+`
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := im.Lookup("a")
+	b, _ := im.Lookup("b")
+	c, _ := im.Lookup("c")
+	if a != b || c != a+4 {
+		t.Errorf("labels a=0x%x b=0x%x c=0x%x", a, b, c)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate r1, r2"},
+		{"bad register", "add r1, r2, r99"},
+		{"bad register name", "add r1, r2, x3"},
+		{"wrong arity", "add r1, r2"},
+		{"bad immediate", "addi r1, r2, banana"},
+		{"huge immediate", "addi r1, r2, 99999999999"},
+		{"bad label char", "my label: nop"},
+		{"unknown directive", ".frob 3"},
+		{"org needs addr", ".org"},
+		{"org after code", "nop\n.org 0x100"},
+		{"bad mem operand", "lw r1, 8(r2"},
+		{"bad mem reg", "lw r1, 8(q2)"},
+		{"word no args", ".word"},
+		{"entry arity", ".entry a b"},
+		{"data arity", ".data"},
+		{"addr arity", ".addr"},
+		{"undefined branch target", "beq r1, r2, nowhere"},
+		{"undefined la", "la r1, nowhere\nhalt"},
+		{"duplicate label", "x: nop\nx: nop"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestErrorsMentionLine(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestBareOffsetMem(t *testing.T) {
+	im, err := Assemble("lw r1, 64\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := im.At(im.Base)
+	if in.Op != isa.OpLoad || in.Ra != 0 || in.Imm != 64 {
+		t.Errorf("bare-offset load = %+v", in)
+	}
+}

@@ -1,0 +1,28 @@
+package asm
+
+import (
+	"testing"
+
+	"tracepre/internal/emulator"
+)
+
+// FuzzAssemble feeds arbitrary source text to the assembler: it must
+// never panic, and any program it accepts must be executable (the
+// emulator may stop at a bad PC, but must not panic either).
+func FuzzAssemble(f *testing.F) {
+	f.Add("nop\nhalt\n")
+	f.Add(loopSrc)
+	f.Add(".org 0x1000\nx: j x\n")
+	f.Add("lw r1, 8(sp)\nsw r1, -4(fp)\nret\n")
+	f.Add(".data 0x100\n.word 1,2,3\n.addr x\nx: halt\n")
+	f.Add("a: b: addi r1, r0, 5 ; comment\n")
+	f.Add("li r1, 0xffffffff\nla r2, a\na: halt")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		e := emulator.New(im)
+		_, _ = e.Run(200, nil)
+	})
+}

@@ -1,0 +1,96 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracepre/internal/isa"
+)
+
+// randCanonical generates a random canonical instruction whose String()
+// form the assembler must accept.
+func randCanonical(r *rand.Rand) isa.Inst {
+	reg := func() uint8 { return uint8(r.Intn(isa.NumRegs)) }
+	imm := func() int32 { return int32(int16(r.Uint32())) }
+	ops := []isa.Op{
+		isa.OpNop, isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSltu,
+		isa.OpAddI, isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI,
+		isa.OpShrI, isa.OpLui, isa.OpLoad, isa.OpStore, isa.OpBeq,
+		isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpJal, isa.OpJr,
+		isa.OpJalr, isa.OpHalt,
+	}
+	op := ops[r.Intn(len(ops))]
+	in := isa.Inst{Op: op}
+	switch op {
+	case isa.OpNop, isa.OpHalt:
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSltu:
+		in.Rd, in.Ra, in.Rb = reg(), reg(), reg()
+	case isa.OpAddI, isa.OpLoad:
+		in.Rd, in.Ra, in.Imm = reg(), reg(), imm()
+	case isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI:
+		in.Rd, in.Ra, in.Imm = reg(), reg(), int32(r.Intn(1<<16))
+	case isa.OpStore:
+		in.Rb, in.Ra, in.Imm = reg(), reg(), imm()
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		in.Ra, in.Rb, in.Imm = reg(), reg(), imm()
+	case isa.OpJmp, isa.OpJal:
+		in.Target = uint32(r.Intn(1<<20)) * isa.WordSize
+	case isa.OpJr, isa.OpJalr:
+		in.Ra = reg()
+	case isa.OpLui:
+		in.Rd, in.Imm = reg(), int32(r.Intn(1<<16))
+	}
+	return in
+}
+
+// TestQuickDisasmRoundTrip: assembling an instruction's own
+// disassembly reproduces the instruction exactly. This pins the
+// assembler and disassembler to one coherent dialect.
+func TestQuickDisasmRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for k := 0; k < 32; k++ {
+			in := randCanonical(r)
+			src := in.String()
+			im, err := Assemble(src)
+			if err != nil {
+				t.Logf("seed %d: Assemble(%q): %v", seed, src, err)
+				return false
+			}
+			if im.NumInstrs() != 1 {
+				t.Logf("seed %d: %q assembled to %d instructions", seed, src, im.NumInstrs())
+				return false
+			}
+			got, _ := im.At(im.Base)
+			if got != in {
+				t.Logf("seed %d: %q -> %+v, want %+v", seed, src, got, in)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNumericJumpForms covers the disassembler's numeric operand forms
+// explicitly.
+func TestNumericJumpForms(t *testing.T) {
+	im := MustAssemble("j 0x40\njal 0x80\nbeq r1, r0, +16\nbne r2, r3, -8\n")
+	cases := []isa.Inst{
+		{Op: isa.OpJmp, Target: 0x40},
+		{Op: isa.OpJal, Target: 0x80},
+		{Op: isa.OpBeq, Ra: 1, Rb: 0, Imm: 16},
+		{Op: isa.OpBne, Ra: 2, Rb: 3, Imm: -8},
+	}
+	for i, want := range cases {
+		got, _ := im.At(im.Base + uint32(i*4))
+		if got != want {
+			t.Errorf("instr %d = %+v, want %+v", i, got, want)
+		}
+	}
+}

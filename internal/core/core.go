@@ -1,0 +1,158 @@
+// Package core is the library facade: it wires the synthetic SPECint95
+// workloads to the trace processor model and exposes the paper's
+// experiments (Figure 5, Tables 1-3, Figure 6, Figure 8) as runnable
+// functions returning both structured data and formatted tables.
+//
+// Quick start:
+//
+//	res, err := core.RunBenchmark("gcc", core.BaselineConfig(512), 2_000_000)
+//	fmt.Println(res.TCMissPerKI())
+//
+// or run a whole experiment:
+//
+//	out, err := core.Figure5(core.SmallBudget, []string{"gcc", "go"})
+//	fmt.Println(out.Table())
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tracepre/internal/pipeline"
+	"tracepre/internal/program"
+	"tracepre/internal/workload"
+)
+
+// Budgets used by the harness; the paper runs 200M instructions per
+// benchmark, which the simulator supports but the bundled experiments
+// default below for practical turnaround.
+const (
+	// SmallBudget suits unit tests and quick sanity runs.
+	SmallBudget uint64 = 200_000
+	// DefaultBudget is used by cmd/tablegen unless overridden.
+	DefaultBudget uint64 = 2_000_000
+)
+
+// BaselineConfig returns the paper's processor with a trace cache of the
+// given entry count and no preconstruction.
+func BaselineConfig(tcEntries int) pipeline.Config {
+	return pipeline.DefaultConfig().WithTraceCache(tcEntries)
+}
+
+// PreconConfig returns the processor with preconstruction: tcEntries of
+// trace cache plus pbEntries of preconstruction buffers.
+func PreconConfig(tcEntries, pbEntries int) pipeline.Config {
+	return pipeline.DefaultConfig().WithTraceCache(tcEntries).WithPrecon(pbEntries)
+}
+
+// TimingConfig enables the full backend timing model on top of cfg, with
+// preprocessing optionally enabled.
+func TimingConfig(cfg pipeline.Config, preprocess bool) pipeline.Config {
+	cfg.FullTiming = true
+	cfg.PreprocEnabled = preprocess
+	return cfg
+}
+
+// Benchmarks returns the SPECint95 benchmark names in presentation
+// order.
+func Benchmarks() []string { return workload.Names() }
+
+// LargeWorkingSet lists the benchmarks the paper singles out for their
+// instruction working sets (gcc, go, vortex); perl joins them in the
+// timing figures.
+func LargeWorkingSet() []string { return []string{"gcc", "go", "vortex"} }
+
+// TimingBenchmarks returns the benchmarks of Figures 6 and 8.
+func TimingBenchmarks() []string { return []string{"gcc", "go", "perl", "vortex"} }
+
+// images memoizes generated benchmark programs: generation is
+// deterministic, so one image per name serves every experiment. The
+// mutex makes Image safe for the concurrent experiment runner.
+var (
+	imagesMu sync.Mutex
+	images   = map[string]*program.Image{}
+)
+
+// Image returns the (cached) program image for a benchmark. Images are
+// immutable after generation and safe to share across simulators.
+func Image(name string) (*program.Image, error) {
+	imagesMu.Lock()
+	defer imagesMu.Unlock()
+	if im, ok := images[name]; ok {
+		return im, nil
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	im, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	images[name] = im
+	return im, nil
+}
+
+// runAll executes n independent jobs with bounded parallelism (one
+// worker per CPU), preserving job indices so callers can keep results
+// ordered. The first error wins; all jobs still complete.
+func runAll(n int, job func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// RunBenchmark simulates a benchmark under the configuration for the
+// given committed-instruction budget.
+func RunBenchmark(name string, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
+	im, err := Image(name)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	sim, err := pipeline.New(im, cfg)
+	if err != nil {
+		return pipeline.Result{}, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return sim.Run(budget)
+}
+
+// RunImage simulates an arbitrary image (for custom workloads).
+func RunImage(im *program.Image, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
+	sim, err := pipeline.New(im, cfg)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	return sim.Run(budget)
+}

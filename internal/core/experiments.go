@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+
+	"tracepre/internal/stats"
+)
+
+// Figure5TCSizes are the trace cache sizes swept in Figure 5 (entries;
+// 16-instruction traces, so 64 entries = 4 KB of instructions).
+var Figure5TCSizes = []int{64, 128, 256, 512, 1024}
+
+// Figure5PBSizes are the preconstruction buffer sizes swept in Figure 5.
+// 0 is the no-preconstruction baseline curve.
+var Figure5PBSizes = []int{0, 64, 256}
+
+// Fig5Point is one measurement of Figure 5: trace cache misses per 1000
+// instructions for one benchmark and storage configuration.
+type Fig5Point struct {
+	Bench     string
+	TCEntries int
+	PBEntries int
+	MissPerKI float64
+}
+
+// CombinedEntries is the iso-area x-axis of Figure 5.
+func (p Fig5Point) CombinedEntries() int { return p.TCEntries + p.PBEntries }
+
+// Fig5Result holds the full sweep.
+type Fig5Result struct {
+	Points []Fig5Point
+	Budget uint64
+}
+
+// Figure5 reproduces the paper's Figure 5: trace cache miss rates as a
+// function of combined trace cache + preconstruction buffer size, one
+// curve per buffer size, for each benchmark.
+func Figure5(budget uint64, benches []string) (*Fig5Result, error) {
+	out := &Fig5Result{Budget: budget}
+	for _, b := range benches {
+		for _, pb := range Figure5PBSizes {
+			for _, tc := range Figure5TCSizes {
+				if pb >= 256 && tc >= 1024 {
+					continue // beyond the paper's area range
+				}
+				out.Points = append(out.Points, Fig5Point{
+					Bench: b, TCEntries: tc, PBEntries: pb,
+				})
+			}
+		}
+	}
+	err := runAll(len(out.Points), func(i int) error {
+		p := &out.Points[i]
+		cfg := BaselineConfig(p.TCEntries)
+		if p.PBEntries > 0 {
+			cfg = PreconConfig(p.TCEntries, p.PBEntries)
+		}
+		res, err := RunBenchmark(p.Bench, cfg, budget)
+		if err != nil {
+			return err
+		}
+		p.MissPerKI = res.TCMissPerKI()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders the sweep, one section per benchmark.
+func (r *Fig5Result) Table() string {
+	out := ""
+	byBench := map[string][]Fig5Point{}
+	var order []string
+	for _, p := range r.Points {
+		if _, ok := byBench[p.Bench]; !ok {
+			order = append(order, p.Bench)
+		}
+		byBench[p.Bench] = append(byBench[p.Bench], p)
+	}
+	for _, b := range order {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 5 [%s]: trace cache misses per 1000 instructions (budget %d)", b, r.Budget),
+			"TC entries", "PB entries", "combined", "miss/KI")
+		for _, p := range byBench[b] {
+			t.AddRow(p.TCEntries, p.PBEntries, p.CombinedEntries(), p.MissPerKI)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// SupplyRow is one benchmark's Table 1/2/3 measurements for the paper's
+// two configurations: a 512-entry trace cache versus a 256-entry trace
+// cache plus 256 preconstruction buffers.
+type SupplyRow struct {
+	Bench string
+	// Base is the 512-entry trace cache; Pre is 256 TC + 256 PB.
+	BaseICInstrsPerKI float64 // Table 1
+	PreICInstrsPerKI  float64
+	BaseICMissPerKI   float64 // Table 2
+	PreICMissPerKI    float64
+	BaseFromMissPerKI float64 // Table 3
+	PreFromMissPerKI  float64
+}
+
+// SupplyResult holds Tables 1-3.
+type SupplyResult struct {
+	Rows   []SupplyRow
+	Budget uint64
+}
+
+// Tables123 reproduces Tables 1, 2 and 3: instruction cache supply and
+// miss behaviour with and without preconstruction for gcc and go.
+func Tables123(budget uint64, benches []string) (*SupplyResult, error) {
+	out := &SupplyResult{Budget: budget, Rows: make([]SupplyRow, len(benches))}
+	err := runAll(len(benches), func(i int) error {
+		b := benches[i]
+		base, err := RunBenchmark(b, BaselineConfig(512), budget)
+		if err != nil {
+			return err
+		}
+		pre, err := RunBenchmark(b, PreconConfig(256, 256), budget)
+		if err != nil {
+			return err
+		}
+		out.Rows[i] = SupplyRow{
+			Bench:             b,
+			BaseICInstrsPerKI: base.ICacheInstrsPerKI(),
+			PreICInstrsPerKI:  pre.ICacheInstrsPerKI(),
+			BaseICMissPerKI:   base.ICacheMissesPerKI(),
+			PreICMissPerKI:    pre.ICacheMissesPerKI(),
+			BaseFromMissPerKI: base.InstrsFromICMissesPerKI(),
+			PreFromMissPerKI:  pre.InstrsFromICMissesPerKI(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders Tables 1-3 in the paper's layout.
+func (r *SupplyResult) Table() string {
+	t1 := stats.NewTable(
+		fmt.Sprintf("Table 1: instructions supplied by the I-cache per 1000 instructions (budget %d)", r.Budget),
+		"benchmark", "512-entry TC", "256 TC + 256 PB")
+	t2 := stats.NewTable(
+		"Table 2: I-cache misses per 1000 instructions",
+		"benchmark", "512-entry TC", "256 TC + 256 PB")
+	t3 := stats.NewTable(
+		"Table 3: instructions supplied by I-cache misses per 1000 instructions",
+		"benchmark", "512-entry TC", "256 TC + 256 PB")
+	for _, row := range r.Rows {
+		t1.AddRow(row.Bench, row.BaseICInstrsPerKI, row.PreICInstrsPerKI)
+		t2.AddRow(row.Bench, row.BaseICMissPerKI, row.PreICMissPerKI)
+		t3.AddRow(row.Bench, row.BaseFromMissPerKI, row.PreFromMissPerKI)
+	}
+	return t1.String() + "\n" + t2.String() + "\n" + t3.String()
+}
+
+// Fig6Point is one bar of Figure 6: the percent speedup from replacing
+// half of a trace cache with preconstruction buffers.
+type Fig6Point struct {
+	Bench      string
+	TCEntries  int // baseline size; precon config is TC/2 + TC/2
+	SpeedupPct float64
+	BaseIPC    float64
+	PreconIPC  float64
+}
+
+// Fig6Result holds the Figure 6 sweep.
+type Fig6Result struct {
+	Points []Fig6Point
+	Budget uint64
+}
+
+// Figure6 reproduces Figure 6: overall performance improvement from
+// preconstruction under the full timing model (paper: 3-10% for gcc,
+// go, perl and vortex).
+func Figure6(budget uint64, benches []string) (*Fig6Result, error) {
+	out := &Fig6Result{Budget: budget}
+	for _, b := range benches {
+		for _, tc := range []int{256, 512} {
+			out.Points = append(out.Points, Fig6Point{Bench: b, TCEntries: tc})
+		}
+	}
+	err := runAll(len(out.Points), func(i int) error {
+		p := &out.Points[i]
+		base, err := RunBenchmark(p.Bench, TimingConfig(BaselineConfig(p.TCEntries), false), budget)
+		if err != nil {
+			return err
+		}
+		pre, err := RunBenchmark(p.Bench, TimingConfig(PreconConfig(p.TCEntries/2, p.TCEntries/2), false), budget)
+		if err != nil {
+			return err
+		}
+		p.SpeedupPct = stats.Speedup(base.Cycles, pre.Cycles)
+		p.BaseIPC = base.IPC()
+		p.PreconIPC = pre.IPC()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders Figure 6.
+func (r *Fig6Result) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 6: speedup from preconstruction, TC vs TC/2 + PB/2 (budget %d)", r.Budget),
+		"benchmark", "TC entries", "base IPC", "precon IPC", "speedup %")
+	for _, p := range r.Points {
+		t.AddRow(p.Bench, p.TCEntries, fmt.Sprintf("%.3f", p.BaseIPC),
+			fmt.Sprintf("%.3f", p.PreconIPC), p.SpeedupPct)
+	}
+	return t.String()
+}
+
+// Fig8Row is one benchmark of Figure 8: speedups from preconstruction,
+// preprocessing, their combination, and the sum of the parts.
+type Fig8Row struct {
+	Bench       string
+	PreconPct   float64
+	PreprocPct  float64
+	CombinedPct float64
+	SumPct      float64
+	BaseIPC     float64
+}
+
+// Fig8Result holds Figure 8.
+type Fig8Result struct {
+	Rows   []Fig8Row
+	Budget uint64
+}
+
+// Figure8 reproduces Figure 8's extended pipeline study: a 256-entry
+// trace cache baseline against (a) 128 TC + 128 PB, (b) 256 TC with
+// preprocessing, and (c) 128 TC + 128 PB with preprocessing. The paper
+// reports 2-8% (a), 8-12% (b), and 12-20% (c), with (c) exceeding the
+// sum of (a) and (b).
+func Figure8(budget uint64, benches []string) (*Fig8Result, error) {
+	out := &Fig8Result{Budget: budget, Rows: make([]Fig8Row, len(benches))}
+	err := runAll(len(benches), func(i int) error {
+		b := benches[i]
+		base, err := RunBenchmark(b, TimingConfig(BaselineConfig(256), false), budget)
+		if err != nil {
+			return err
+		}
+		pre, err := RunBenchmark(b, TimingConfig(PreconConfig(128, 128), false), budget)
+		if err != nil {
+			return err
+		}
+		pp, err := RunBenchmark(b, TimingConfig(BaselineConfig(256), true), budget)
+		if err != nil {
+			return err
+		}
+		both, err := RunBenchmark(b, TimingConfig(PreconConfig(128, 128), true), budget)
+		if err != nil {
+			return err
+		}
+		row := Fig8Row{
+			Bench:       b,
+			PreconPct:   stats.Speedup(base.Cycles, pre.Cycles),
+			PreprocPct:  stats.Speedup(base.Cycles, pp.Cycles),
+			CombinedPct: stats.Speedup(base.Cycles, both.Cycles),
+			BaseIPC:     base.IPC(),
+		}
+		row.SumPct = row.PreconPct + row.PreprocPct
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders Figure 8.
+func (r *Fig8Result) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 8: extended pipeline speedups over a 256-entry TC (budget %d)", r.Budget),
+		"benchmark", "base IPC", "precon %", "preproc %", "combined %", "sum of parts %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, fmt.Sprintf("%.3f", row.BaseIPC),
+			row.PreconPct, row.PreprocPct, row.CombinedPct, row.SumPct)
+	}
+	return t.String()
+}
+
+// Experiment identifies one reproducible artifact from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment over the benchmarks (nil = the
+	// experiment's default set) and renders its tables.
+	Run func(budget uint64, benches []string) (string, error)
+}
+
+// Experiments lists every table and figure of the paper's evaluation,
+// followed by the extension and ablation studies this reproduction
+// adds (see extensions.go).
+func Experiments() []Experiment {
+	exps := PaperExperiments()
+	return append(exps, extensionExperiments()...)
+}
+
+// PaperExperiments lists the artifacts that appear in the paper itself.
+func PaperExperiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "fig5",
+			Title: "Figure 5: trace cache miss rates across TC/PB configurations",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = Benchmarks()
+				}
+				r, err := Figure5(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "tables123",
+			Title: "Tables 1-3: instruction cache supply with and without preconstruction",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = []string{"gcc", "go"}
+				}
+				r, err := Tables123(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "fig6",
+			Title: "Figure 6: performance improvement from preconstruction",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = TimingBenchmarks()
+				}
+				r, err := Figure6(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "fig8",
+			Title: "Figure 8: extended pipeline (preconstruction x preprocessing)",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = TimingBenchmarks()
+				}
+				r, err := Figure8(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}

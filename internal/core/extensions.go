@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"tracepre/internal/pipeline"
+	"tracepre/internal/stats"
+)
+
+// AdaptiveRow compares the paper's static trace-cache/buffer split with
+// the dynamically partitioned design suggested as future work in §5.1.
+type AdaptiveRow struct {
+	Bench          string
+	FixedMissPerKI float64 // 256 TC + 256 PB, static
+	AdaptMissPerKI float64 // 512 unified, adaptive partition
+	FinalPBShare   float64
+	Adjustments    uint64
+}
+
+// AdaptiveResult holds the dynamic-partitioning study.
+type AdaptiveResult struct {
+	Rows   []AdaptiveRow
+	Budget uint64
+}
+
+// AdaptivePartitionStudy runs the extension experiment: same total
+// storage, static 50/50 split versus the feedback-partitioned unified
+// store. The paper's motivation: gcc does best with a small buffer and
+// go with a large one, so no single static split serves both.
+func AdaptivePartitionStudy(budget uint64, benches []string) (*AdaptiveResult, error) {
+	out := &AdaptiveResult{Budget: budget, Rows: make([]AdaptiveRow, len(benches))}
+	err := runAll(len(benches), func(i int) error {
+		b := benches[i]
+		fixed, err := RunBenchmark(b, PreconConfig(256, 256), budget)
+		if err != nil {
+			return err
+		}
+		cfg := PreconConfig(256, 256)
+		cfg.AdaptivePartition = true
+		adapt, err := RunBenchmark(b, cfg, budget)
+		if err != nil {
+			return err
+		}
+		out.Rows[i] = AdaptiveRow{
+			Bench:          b,
+			FixedMissPerKI: fixed.TCMissPerKI(),
+			AdaptMissPerKI: adapt.TCMissPerKI(),
+			FinalPBShare:   adapt.AdaptivePBShare,
+			Adjustments:    adapt.AdaptiveAdjusts,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (r *AdaptiveResult) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: dynamic TC/PB partitioning, 512 total entries (budget %d)", r.Budget),
+		"benchmark", "fixed 256+256 miss/KI", "adaptive miss/KI", "final PB share", "adjustments")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, row.FixedMissPerKI, row.AdaptMissPerKI,
+			row.FinalPBShare, row.Adjustments)
+	}
+	return t.String()
+}
+
+// AblationRow is one engine variant's effect on one benchmark.
+type AblationRow struct {
+	Variant        string
+	Bench          string
+	MissPerKI      float64
+	PreconSupplied uint64
+}
+
+// AblationResult holds a preconstruction-engine ablation sweep.
+type AblationResult struct {
+	Rows   []AblationRow
+	Budget uint64
+	Title  string
+}
+
+// preconVariant pairs a label with a configuration mutation.
+type preconVariant struct {
+	name string
+	mut  func(*pipeline.Config)
+}
+
+// preconVariants are the design-choice ablations called out in
+// DESIGN.md: each removes or resizes one mechanism of §3.
+func preconVariants() []preconVariant {
+	return []preconVariant{
+		{"paper (default)", nil},
+		{"no alignment heuristic", func(c *pipeline.Config) {
+			// AlignMod 16 never fires below the 16-instruction cap,
+			// so loop-exit quantization is effectively off.
+			c.Select.AlignMod = 16
+		}},
+		{"1 constructor", func(c *pipeline.Config) { c.Precon.NumConstructors = 1 }},
+		{"no branch forking", func(c *pipeline.Config) { c.Precon.DecisionDepth = 0 }},
+		{"stack depth 4", func(c *pipeline.Config) { c.Precon.StackDepth = 4 }},
+		{"prefetch cache 64 instr", func(c *pipeline.Config) { c.Precon.PrefetchInstrs = 64 }},
+		{"plain-LRU buffers", func(c *pipeline.Config) { c.Buffers.PlainLRU = true }},
+		{"+ resolve indirect targets (ext)", func(c *pipeline.Config) {
+			c.Precon.ResolveIndirects = true
+		}},
+	}
+}
+
+// PreconAblations measures how each §3 mechanism contributes: every
+// variant runs the 256 TC + 256 PB configuration with one knob changed.
+func PreconAblations(budget uint64, benches []string) (*AblationResult, error) {
+	out := &AblationResult{
+		Budget: budget,
+		Title:  "Ablation: preconstruction engine mechanisms (256 TC + 256 PB)",
+	}
+	variants := preconVariants()
+	for _, v := range variants {
+		for _, b := range benches {
+			out.Rows = append(out.Rows, AblationRow{Variant: v.name, Bench: b})
+		}
+	}
+	err := runAll(len(out.Rows), func(i int) error {
+		row := &out.Rows[i]
+		cfg := PreconConfig(256, 256)
+		if mut := variants[i/len(benches)].mut; mut != nil {
+			mut(&cfg)
+		}
+		res, err := RunBenchmark(row.Bench, cfg, budget)
+		if err != nil {
+			return err
+		}
+		row.MissPerKI = res.TCMissPerKI()
+		row.PreconSupplied = res.PreconSupplied
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders the ablation sweep.
+func (r *AblationResult) Table() string {
+	t := stats.NewTable(fmt.Sprintf("%s (budget %d)", r.Title, r.Budget),
+		"variant", "benchmark", "miss/KI", "supplied by precon")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, row.Bench, row.MissPerKI, row.PreconSupplied)
+	}
+	return t.String()
+}
+
+// PredictorRow is one next-trace-predictor variant's accuracy.
+type PredictorRow struct {
+	Variant  string
+	Bench    string
+	Accuracy float64
+}
+
+// PredictorResult holds the predictor ablation.
+type PredictorResult struct {
+	Rows   []PredictorRow
+	Budget uint64
+}
+
+// PredictorAblations measures the §6 predictor enhancements: the full
+// hybrid with return history stack, the hybrid without the RHS, and
+// the bare path table without the last-trace fallback.
+func PredictorAblations(budget uint64, benches []string) (*PredictorResult, error) {
+	variants := []struct {
+		name string
+		mut  func(*pipeline.Config)
+	}{
+		{"hybrid + RHS (paper)", nil},
+		{"no return history stack", func(c *pipeline.Config) { c.Pred.DisableRHS = true }},
+		{"no secondary table", func(c *pipeline.Config) { c.Pred.DisableSecondary = true }},
+		{"path table only", func(c *pipeline.Config) {
+			c.Pred.DisableRHS = true
+			c.Pred.DisableSecondary = true
+		}},
+	}
+	out := &PredictorResult{Budget: budget}
+	for _, v := range variants {
+		for _, b := range benches {
+			cfg := BaselineConfig(512)
+			if v.mut != nil {
+				v.mut(&cfg)
+			}
+			res, err := RunBenchmark(b, cfg, budget)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, PredictorRow{
+				Variant:  v.name,
+				Bench:    b,
+				Accuracy: res.Pred.Accuracy(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the predictor ablation.
+func (r *PredictorResult) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: next-trace predictor configuration (budget %d)", r.Budget),
+		"variant", "benchmark", "accuracy")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, row.Bench, fmt.Sprintf("%.4f", row.Accuracy))
+	}
+	return t.String()
+}
+
+// extensionExperiments registers the beyond-the-paper studies.
+func extensionExperiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "ext-adaptive",
+			Title: "Extension: dynamic TC/PB partitioning (paper's suggested future work)",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = TimingBenchmarks()
+				}
+				r, err := AdaptivePartitionStudy(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "ablation-precon",
+			Title: "Ablation: preconstruction engine mechanisms",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = []string{"gcc", "vortex"}
+				}
+				r, err := PreconAblations(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "sensitivity",
+			Title: "Sensitivity: does the iso-area preconstruction win survive model-parameter changes?",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = []string{"gcc"}
+				}
+				r, err := Sensitivity(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				verdict := "CONCLUSION HOLDS under every variant\n"
+				if !r.HoldsEverywhere() {
+					verdict = "WARNING: conclusion reverses under some variant\n"
+				}
+				return r.Table() + verdict, nil
+			},
+		},
+		{
+			ID:    "seeds",
+			Title: "Across program seeds: is the result a property of the workload class?",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = []string{"gcc", "vortex"}
+				}
+				r, err := MultiSeed(budget, benches, 5)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+		{
+			ID:    "ablation-tpred",
+			Title: "Ablation: next-trace predictor (hybrid, secondary table, RHS)",
+			Run: func(budget uint64, benches []string) (string, error) {
+				if benches == nil {
+					benches = []string{"gcc", "go", "perl"}
+				}
+				r, err := PredictorAblations(budget, benches)
+				if err != nil {
+					return "", err
+				}
+				return r.Table(), nil
+			},
+		},
+	}
+}

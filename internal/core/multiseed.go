@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tracepre/internal/stats"
+	"tracepre/internal/workload"
+)
+
+// SeedStats summarizes the iso-area preconstruction comparison for one
+// benchmark across program-generator seeds: does the result depend on
+// the particular synthetic program instance?
+type SeedStats struct {
+	Bench         string
+	Seeds         int
+	MeanReduction float64 // percent
+	StdReduction  float64
+	MinReduction  float64
+	MaxReduction  float64
+}
+
+// MultiSeedResult holds the across-seeds study.
+type MultiSeedResult struct {
+	Rows   []SeedStats
+	Budget uint64
+}
+
+// MultiSeed regenerates each benchmark with perturbed generator seeds
+// and measures the 512-TC vs 256+256 miss-rate reduction for every
+// instance. The paper's conclusion should be a property of the
+// workload *class*, not of one sampled program.
+func MultiSeed(budget uint64, benches []string, seeds int) (*MultiSeedResult, error) {
+	if seeds < 2 {
+		return nil, fmt.Errorf("core: MultiSeed needs >= 2 seeds, got %d", seeds)
+	}
+	out := &MultiSeedResult{Budget: budget, Rows: make([]SeedStats, len(benches))}
+
+	type job struct{ bench, seed int }
+	var jobs []job
+	for bi := range benches {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{bi, s})
+		}
+	}
+	reductions := make([]float64, len(jobs))
+	err := runAll(len(jobs), func(i int) error {
+		j := jobs[i]
+		p, err := workload.ByName(benches[j.bench])
+		if err != nil {
+			return err
+		}
+		p.Seed += int64(j.seed * 7919) // distinct program instances
+		im, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		base, err := RunImage(im, BaselineConfig(512), budget)
+		if err != nil {
+			return err
+		}
+		pre, err := RunImage(im, PreconConfig(256, 256), budget)
+		if err != nil {
+			return err
+		}
+		reductions[i] = stats.Reduction(base.TCMissPerKI(), pre.TCMissPerKI())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for bi, b := range benches {
+		rs := reductions[bi*seeds : (bi+1)*seeds]
+		mean := 0.0
+		for _, r := range rs {
+			mean += r
+		}
+		mean /= float64(seeds)
+		variance := 0.0
+		min, max := rs[0], rs[0]
+		for _, r := range rs {
+			variance += (r - mean) * (r - mean)
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+		}
+		variance /= float64(seeds - 1)
+		out.Rows[bi] = SeedStats{
+			Bench:         b,
+			Seeds:         seeds,
+			MeanReduction: mean,
+			StdReduction:  math.Sqrt(variance),
+			MinReduction:  min,
+			MaxReduction:  max,
+		}
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (r *MultiSeedResult) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Across program seeds: iso-area miss reduction, 512 TC vs 256+256 (budget %d)", r.Budget),
+		"benchmark", "seeds", "mean %", "stddev", "min %", "max %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, row.Seeds, row.MeanReduction, row.StdReduction,
+			row.MinReduction, row.MaxReduction)
+	}
+	return t.String()
+}

@@ -1,0 +1,97 @@
+package emulator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+)
+
+// TestQuickZeroRegisterInvariant: no instruction sequence may ever make
+// r0 nonzero.
+func TestQuickZeroRegisterInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := program.NewBuilder(0x1000)
+		for i := 0; i < 50; i++ {
+			rd := uint8(r.Intn(8)) // includes r0
+			switch r.Intn(5) {
+			case 0:
+				b.ALUI(isa.OpAddI, rd, uint8(r.Intn(8)), int32(r.Intn(100)))
+			case 1:
+				b.ALU(isa.OpAdd, rd, uint8(r.Intn(8)), uint8(r.Intn(8)))
+			case 2:
+				b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int32(r.Intn(1 << 16))})
+			case 3:
+				b.ALU(isa.OpMul, rd, uint8(r.Intn(8)), uint8(r.Intn(8)))
+			default:
+				b.Load(rd, uint8(r.Intn(8)), int32(r.Intn(64)*4))
+			}
+		}
+		b.Halt()
+		im, err := b.Build()
+		if err != nil {
+			return false
+		}
+		e := New(im)
+		if _, err := e.Run(100, nil); err != nil {
+			return false
+		}
+		return e.Regs[isa.RegZero] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMemoryRoundTrip: a store followed by a load from the same
+// address always returns the stored value, across random addresses.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	f := func(addr uint32, val uint32) bool {
+		m := NewMemory()
+		m.Store(addr, val)
+		return m.Load(addr) == val && m.Load(addr|3) == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepCountMatchesRun: Run(n) commits exactly min(n, until
+// halt) instructions and Committed agrees.
+func TestQuickStepCountMatchesRun(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		iters := int32(1 + r.Intn(20))
+		b := program.NewBuilder(0x1000)
+		b.ALUI(isa.OpAddI, 1, 0, iters)
+		b.Label("loop")
+		b.ALUI(isa.OpAddI, 2, 2, 1)
+		b.ALUI(isa.OpAddI, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, 0, "loop")
+		b.Halt()
+		im, err := b.Build()
+		if err != nil {
+			return false
+		}
+		budget := uint64(1 + r.Intn(100))
+		e := New(im)
+		n, err := e.Run(budget, nil)
+		if err != nil {
+			return false
+		}
+		if n != e.Committed() {
+			return false
+		}
+		total := uint64(1 + 3*uint64(iters) + 1)
+		if budget < total {
+			return n == budget
+		}
+		return n == total && e.Halted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoded instruction word layout (32 bits, op in the top 6 bits):
+//
+//	R-format (reg-reg ALU):      op(6) rd(5) ra(5) rb(5) 0(11)
+//	I-format (reg-imm ALU, lw):  op(6) rd(5) ra(5) imm16
+//	S-format (sw):               op(6) rb(5) ra(5) imm16
+//	B-format (branches):         op(6) ra(5) rb(5) imm16
+//	J-format (j, jal):           op(6) target26 (word index, not bytes)
+//	X-format (jr, jalr):         op(6) ra(5) 0(21)
+//	lui:                         op(6) rd(5) 0(5) imm16
+//	nop/halt:                    op(6) 0(26)
+//
+// J-format targets are stored as word indices so that 26 bits cover a
+// 256 MB code region, mirroring MIPS-style jump reach.
+
+// Encoding errors.
+var (
+	ErrBadOpcode    = errors.New("isa: invalid opcode")
+	ErrImmRange     = errors.New("isa: immediate out of range")
+	ErrTargetRange  = errors.New("isa: jump target out of range")
+	ErrTargetAlign  = errors.New("isa: jump target not word aligned")
+	ErrRegRange     = errors.New("isa: register out of range")
+	ErrNonCanonical = errors.New("isa: non-canonical instruction word")
+)
+
+const (
+	opShift    = 26
+	immMask    = 0xFFFF
+	targetMask = 0x03FFFFFF
+	maxImm16   = 1<<15 - 1
+	minImm16   = -(1 << 15)
+)
+
+func regOK(rs ...uint8) bool {
+	for _, r := range rs {
+		if r >= NumRegs {
+			return false
+		}
+	}
+	return true
+}
+
+func imm16OK(v int32) bool { return v >= minImm16 && v <= maxImm16 }
+
+// Encode packs the instruction into a 32-bit word. It returns an error if
+// any field is out of range for the instruction's format or if fields that
+// the format does not carry are nonzero (so Decode∘Encode is the identity
+// on canonical instructions).
+func Encode(i Inst) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadOpcode, i.Op)
+	}
+	if !regOK(i.Rd, i.Ra, i.Rb) {
+		return 0, ErrRegRange
+	}
+	w := uint32(i.Op) << opShift
+	switch i.Op {
+	case OpNop, OpHalt:
+		if i.Rd != 0 || i.Ra != 0 || i.Rb != 0 || i.Imm != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		return w, nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSltu:
+		if i.Imm != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		return w | uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(i.Rb)<<11, nil
+	case OpAddI, OpLoad:
+		if i.Rb != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		if !imm16OK(i.Imm) {
+			return 0, ErrImmRange
+		}
+		return w | uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(uint16(i.Imm)), nil
+	case OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		// Logical immediates are zero-extended: range 0..65535.
+		if i.Rb != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		if i.Imm < 0 || i.Imm > immMask {
+			return 0, ErrImmRange
+		}
+		return w | uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(i.Imm), nil
+	case OpStore:
+		if i.Rd != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		if !imm16OK(i.Imm) {
+			return 0, ErrImmRange
+		}
+		return w | uint32(i.Rb)<<21 | uint32(i.Ra)<<16 | uint32(uint16(i.Imm)), nil
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if i.Rd != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		if !imm16OK(i.Imm) {
+			return 0, ErrImmRange
+		}
+		return w | uint32(i.Ra)<<21 | uint32(i.Rb)<<16 | uint32(uint16(i.Imm)), nil
+	case OpJmp, OpJal:
+		if i.Rd != 0 || i.Ra != 0 || i.Rb != 0 || i.Imm != 0 {
+			return 0, ErrNonCanonical
+		}
+		if i.Target%WordSize != 0 {
+			return 0, ErrTargetAlign
+		}
+		word := i.Target / WordSize
+		if word > targetMask {
+			return 0, ErrTargetRange
+		}
+		return w | word, nil
+	case OpJr, OpJalr:
+		if i.Rd != 0 || i.Rb != 0 || i.Imm != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		return w | uint32(i.Ra)<<21, nil
+	case OpLui:
+		if i.Ra != 0 || i.Rb != 0 || i.Target != 0 {
+			return 0, ErrNonCanonical
+		}
+		if i.Imm < 0 || i.Imm > immMask {
+			return 0, ErrImmRange
+		}
+		return w | uint32(i.Rd)<<21 | uint32(i.Imm), nil
+	}
+	return 0, fmt.Errorf("%w: %v", ErrBadOpcode, i.Op)
+}
+
+// MustEncode is Encode for instructions known to be valid; it panics on
+// error and is intended for program builders and tests.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(fmt.Sprintf("isa: MustEncode(%v): %v", i, err))
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. It rejects undefined opcodes
+// and non-canonical encodings (nonzero bits in unused fields).
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> opShift)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("%w: word 0x%08x", ErrBadOpcode, w)
+	}
+	f1 := uint8(w >> 21 & 0x1F)
+	f2 := uint8(w >> 16 & 0x1F)
+	f3 := uint8(w >> 11 & 0x1F)
+	imm := int32(int16(w & immMask))
+	var i Inst
+	i.Op = op
+	switch op {
+	case OpNop, OpHalt:
+		if w&^(uint32(op)<<opShift) != 0 {
+			return Inst{}, ErrNonCanonical
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSltu:
+		if w&0x7FF != 0 {
+			return Inst{}, ErrNonCanonical
+		}
+		i.Rd, i.Ra, i.Rb = f1, f2, f3
+	case OpAddI, OpLoad:
+		i.Rd, i.Ra, i.Imm = f1, f2, imm
+	case OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		i.Rd, i.Ra, i.Imm = f1, f2, int32(w&immMask)
+	case OpStore:
+		i.Rb, i.Ra, i.Imm = f1, f2, imm
+	case OpBeq, OpBne, OpBlt, OpBge:
+		i.Ra, i.Rb, i.Imm = f1, f2, imm
+	case OpJmp, OpJal:
+		i.Target = (w & targetMask) * WordSize
+	case OpJr, OpJalr:
+		if w&0x1FFFFF != 0 {
+			return Inst{}, ErrNonCanonical
+		}
+		i.Ra = f1
+	case OpLui:
+		if f2 != 0 {
+			return Inst{}, ErrNonCanonical
+		}
+		i.Rd = f1
+		i.Imm = int32(w & immMask)
+	}
+	return i, nil
+}
+
+// MustDecode is Decode that panics on error.
+func MustDecode(w uint32) Inst {
+	i, err := Decode(w)
+	if err != nil {
+		panic(fmt.Sprintf("isa: MustDecode(0x%08x): %v", w, err))
+	}
+	return i
+}

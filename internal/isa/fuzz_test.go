@@ -1,0 +1,32 @@
+package isa
+
+import "testing"
+
+// FuzzDecode throws arbitrary words at the decoder: it must never
+// panic, and anything it accepts must re-encode to the identical word
+// and classify without panicking.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(MustEncode(Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}))
+	f.Add(MustEncode(Inst{Op: OpBeq, Ra: 1, Rb: 2, Imm: -64}))
+	f.Add(MustEncode(Inst{Op: OpJal, Target: 0x1000}))
+	f.Add(MustEncode(Inst{Op: OpLui, Rd: 5, Imm: 0xFFFF}))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Decode accepted 0x%08x but Encode rejected %+v: %v", w, in, err)
+		}
+		if w2 != w {
+			t.Fatalf("0x%08x -> %+v -> 0x%08x", w, in, w2)
+		}
+		_ = in.Classify()
+		_ = in.String()
+		_, _ = in.WritesReg()
+		_ = in.ReadsRegs(nil)
+	})
+}

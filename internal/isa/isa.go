@@ -1,0 +1,296 @@
+// Package isa defines the instruction set executed by the simulators.
+//
+// The ISA is a small 32-bit RISC machine in the spirit of the SimpleScalar
+// PISA instruction set used by the paper: 32 general-purpose registers,
+// fixed-width 4-byte instructions, explicit call (JAL), return (RET, an
+// alias of JR through the link register) and indirect-jump instructions.
+// Only the properties that matter to instruction supply are modeled
+// carefully — control transfer semantics, static code layout, and enough
+// integer/memory semantics to produce data-dependent branch behaviour.
+//
+// Instructions exist in two forms: a decoded struct (Inst) used by the
+// simulators, and a packed 32-bit word produced by Encode and consumed by
+// Decode. The packed form exists so that instruction storage structures
+// (i-cache lines, prefetch caches) can be sized in bytes exactly as the
+// paper sizes them.
+package isa
+
+import "fmt"
+
+// WordSize is the size of one encoded instruction in bytes. Instruction
+// addresses are byte addresses and are always WordSize-aligned.
+const WordSize = 4
+
+// NumRegs is the number of general-purpose architectural registers.
+const NumRegs = 32
+
+// Distinguished registers, following common RISC conventions.
+const (
+	RegZero = 0  // hardwired zero
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegLink = 31 // link register written by JAL/JALR
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// Integer register-register ALU operations: Rd <- Ra op Rb.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Integer register-immediate ALU operations: Rd <- Ra op Imm.
+	OpAddI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+
+	// OpLui loads Imm into the upper half of Rd: Rd <- Imm << 16.
+	OpLui
+
+	// Comparison ops: Rd <- (Ra cmp Rb) ? 1 : 0.
+	OpSlt
+	OpSltu
+
+	// Memory operations. Address is Ra + Imm.
+	OpLoad  // Rd <- mem[Ra+Imm]
+	OpStore // mem[Ra+Imm] <- Rb
+
+	// Conditional branches, PC-relative: if cond(Ra, Rb) then PC <- PC + Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+
+	// Unconditional control transfers.
+	OpJmp  // PC <- Target (absolute, direct)
+	OpJal  // RegLink <- PC+4; PC <- Target (procedure call)
+	OpJr   // PC <- Ra (indirect jump; Ra == RegLink means return)
+	OpJalr // RegLink <- PC+4; PC <- Ra (indirect call)
+
+	// OpHalt stops the program.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop:   "nop",
+	OpAdd:   "add",
+	OpSub:   "sub",
+	OpMul:   "mul",
+	OpDiv:   "div",
+	OpAnd:   "and",
+	OpOr:    "or",
+	OpXor:   "xor",
+	OpShl:   "shl",
+	OpShr:   "shr",
+	OpAddI:  "addi",
+	OpAndI:  "andi",
+	OpOrI:   "ori",
+	OpXorI:  "xori",
+	OpShlI:  "shli",
+	OpShrI:  "shri",
+	OpLui:   "lui",
+	OpSlt:   "slt",
+	OpSltu:  "sltu",
+	OpLoad:  "lw",
+	OpStore: "sw",
+	OpBeq:   "beq",
+	OpBne:   "bne",
+	OpBlt:   "blt",
+	OpBge:   "bge",
+	OpJmp:   "j",
+	OpJal:   "jal",
+	OpJr:    "jr",
+	OpJalr:  "jalr",
+	OpHalt:  "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Inst is a decoded instruction.
+//
+// The interpretation of the fields depends on the opcode:
+//   - ALU reg-reg: Rd <- Ra op Rb
+//   - ALU reg-imm: Rd <- Ra op Imm
+//   - Load:  Rd <- mem[Ra+Imm];  Store: mem[Ra+Imm] <- Rb
+//   - Branches compare Ra and Rb; Imm is the signed byte offset from the
+//     branch's own PC.
+//   - Jmp/Jal use Target (absolute byte address); Jr/Jalr use Ra.
+type Inst struct {
+	Op     Op
+	Rd     uint8  // destination register
+	Ra     uint8  // first source register
+	Rb     uint8  // second source register
+	Imm    int32  // immediate / branch displacement (signed)
+	Target uint32 // absolute target for direct jumps and calls
+}
+
+// ClassOf groups opcodes by the way the fetch machinery treats them.
+type Class uint8
+
+const (
+	ClassALU     Class = iota // straight-line computation
+	ClassLoad                 // memory read
+	ClassStore                // memory write
+	ClassBranch               // conditional, PC-relative
+	ClassJump                 // direct unconditional (Jmp)
+	ClassCall                 // direct call (Jal)
+	ClassJumpInd              // indirect jump or call (Jr to non-link, Jalr)
+	ClassReturn               // Jr through the link register
+	ClassHalt
+)
+
+// Classify returns the control-flow class of the instruction. Jr is a
+// return when it jumps through the link register, which is how the trace
+// selection hardware distinguishes returns from computed jumps.
+func (i Inst) Classify() Class {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return ClassBranch
+	case OpJmp:
+		return ClassJump
+	case OpJal:
+		return ClassCall
+	case OpJr:
+		if i.Ra == RegLink {
+			return ClassReturn
+		}
+		return ClassJumpInd
+	case OpJalr:
+		return ClassJumpInd
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpHalt:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Classify() == ClassBranch }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (i Inst) IsControl() bool {
+	switch i.Classify() {
+	case ClassBranch, ClassJump, ClassCall, ClassJumpInd, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a direct or indirect call.
+func (i Inst) IsCall() bool { return i.Op == OpJal || i.Op == OpJalr }
+
+// WritesReg reports whether the instruction writes a register, and which.
+// Writes to RegZero are discarded and reported as no write.
+func (i Inst) WritesReg() (uint8, bool) {
+	var r uint8
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpLui, OpSlt, OpSltu, OpLoad:
+		r = i.Rd
+	case OpJal, OpJalr:
+		r = RegLink
+	default:
+		return 0, false
+	}
+	if r == RegZero {
+		return 0, false
+	}
+	return r, true
+}
+
+// ReadsRegs appends the registers read by the instruction to dst and
+// returns the extended slice. Reads of RegZero are included (they are real
+// ports) but always yield zero.
+func (i Inst) ReadsRegs(dst []uint8) []uint8 {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSltu:
+		return append(dst, i.Ra, i.Rb)
+	case OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpLoad:
+		return append(dst, i.Ra)
+	case OpStore:
+		return append(dst, i.Ra, i.Rb)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return append(dst, i.Ra, i.Rb)
+	case OpJr, OpJalr:
+		return append(dst, i.Ra)
+	}
+	return dst
+}
+
+// BranchTarget returns the absolute target address of a taken branch at
+// address pc.
+func (i Inst) BranchTarget(pc uint32) uint32 {
+	return uint32(int64(pc) + int64(i.Imm))
+}
+
+// IsBackwardBranch reports whether the instruction is a conditional branch
+// with a negative displacement (a loop back edge candidate).
+func (i Inst) IsBackwardBranch() bool {
+	return i.IsBranch() && i.Imm < 0
+}
+
+// String disassembles the instruction (without its address).
+func (i Inst) String() string {
+	switch i.Classify() {
+	case ClassALU:
+		switch i.Op {
+		case OpNop:
+			return "nop"
+		case OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+			return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+		case OpLui:
+			return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
+		default:
+			return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+		}
+	case ClassLoad:
+		return fmt.Sprintf("lw r%d, %d(r%d)", i.Rd, i.Imm, i.Ra)
+	case ClassStore:
+		return fmt.Sprintf("sw r%d, %d(r%d)", i.Rb, i.Imm, i.Ra)
+	case ClassBranch:
+		return fmt.Sprintf("%s r%d, r%d, %+d", i.Op, i.Ra, i.Rb, i.Imm)
+	case ClassJump:
+		return fmt.Sprintf("j 0x%x", i.Target)
+	case ClassCall:
+		return fmt.Sprintf("jal 0x%x", i.Target)
+	case ClassReturn:
+		return "ret"
+	case ClassJumpInd:
+		if i.Op == OpJalr {
+			return fmt.Sprintf("jalr r%d", i.Ra)
+		}
+		return fmt.Sprintf("jr r%d", i.Ra)
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}

@@ -1,0 +1,367 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{OpNop, "nop"},
+		{OpAdd, "add"},
+		{OpLoad, "lw"},
+		{OpStore, "sw"},
+		{OpJal, "jal"},
+		{OpHalt, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !OpAdd.Valid() || !OpHalt.Valid() {
+		t.Error("defined ops reported invalid")
+	}
+	if Op(numOps).Valid() || Op(255).Valid() {
+		t.Error("undefined ops reported valid")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want Class
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, ClassALU},
+		{Inst{Op: OpAddI, Rd: 1, Ra: 2, Imm: 5}, ClassALU},
+		{Inst{Op: OpLoad, Rd: 1, Ra: 2}, ClassLoad},
+		{Inst{Op: OpStore, Rb: 1, Ra: 2}, ClassStore},
+		{Inst{Op: OpBeq, Ra: 1, Rb: 2, Imm: 16}, ClassBranch},
+		{Inst{Op: OpJmp, Target: 64}, ClassJump},
+		{Inst{Op: OpJal, Target: 64}, ClassCall},
+		{Inst{Op: OpJr, Ra: RegLink}, ClassReturn},
+		{Inst{Op: OpJr, Ra: 5}, ClassJumpInd},
+		{Inst{Op: OpJalr, Ra: 5}, ClassJumpInd},
+		{Inst{Op: OpHalt}, ClassHalt},
+		{Inst{Op: OpNop}, ClassALU},
+	}
+	for _, c := range cases {
+		if got := c.in.Classify(); got != c.want {
+			t.Errorf("Classify(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	control := []Inst{
+		{Op: OpBeq, Imm: 8},
+		{Op: OpJmp},
+		{Op: OpJal},
+		{Op: OpJr, Ra: RegLink},
+		{Op: OpJr, Ra: 3},
+		{Op: OpJalr, Ra: 3},
+	}
+	for _, i := range control {
+		if !i.IsControl() {
+			t.Errorf("IsControl(%v) = false, want true", i)
+		}
+	}
+	straight := []Inst{{Op: OpAdd}, {Op: OpLoad}, {Op: OpStore}, {Op: OpNop}, {Op: OpHalt}}
+	for _, i := range straight {
+		if i.IsControl() {
+			t.Errorf("IsControl(%v) = true, want false", i)
+		}
+	}
+}
+
+func TestIsCall(t *testing.T) {
+	if !(Inst{Op: OpJal}).IsCall() || !(Inst{Op: OpJalr, Ra: 4}).IsCall() {
+		t.Error("calls not recognized")
+	}
+	if (Inst{Op: OpJr, Ra: RegLink}).IsCall() || (Inst{Op: OpBeq}).IsCall() {
+		t.Error("non-calls recognized as calls")
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	cases := []struct {
+		in  Inst
+		reg uint8
+		ok  bool
+	}{
+		{Inst{Op: OpAdd, Rd: 7}, 7, true},
+		{Inst{Op: OpLoad, Rd: 3}, 3, true},
+		{Inst{Op: OpJal}, RegLink, true},
+		{Inst{Op: OpJalr, Ra: 2}, RegLink, true},
+		{Inst{Op: OpAdd, Rd: RegZero}, 0, false},
+		{Inst{Op: OpStore, Rb: 3}, 0, false},
+		{Inst{Op: OpBeq}, 0, false},
+		{Inst{Op: OpJmp}, 0, false},
+	}
+	for _, c := range cases {
+		reg, ok := c.in.WritesReg()
+		if reg != c.reg || ok != c.ok {
+			t.Errorf("WritesReg(%v) = (%d,%v), want (%d,%v)", c.in, reg, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestReadsRegs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []uint8
+	}{
+		{Inst{Op: OpAdd, Ra: 1, Rb: 2}, []uint8{1, 2}},
+		{Inst{Op: OpAddI, Ra: 4}, []uint8{4}},
+		{Inst{Op: OpLoad, Ra: 5}, []uint8{5}},
+		{Inst{Op: OpStore, Ra: 5, Rb: 6}, []uint8{5, 6}},
+		{Inst{Op: OpBne, Ra: 7, Rb: 8}, []uint8{7, 8}},
+		{Inst{Op: OpJr, Ra: RegLink}, []uint8{RegLink}},
+		{Inst{Op: OpJmp}, nil},
+		{Inst{Op: OpLui, Rd: 1}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.ReadsRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("ReadsRegs(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for k := range got {
+			if got[k] != c.want[k] {
+				t.Errorf("ReadsRegs(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	i := Inst{Op: OpBeq, Imm: -16}
+	if got := i.BranchTarget(100); got != 84 {
+		t.Errorf("BranchTarget = %d, want 84", got)
+	}
+	i.Imm = 32
+	if got := i.BranchTarget(100); got != 132 {
+		t.Errorf("BranchTarget = %d, want 132", got)
+	}
+}
+
+func TestIsBackwardBranch(t *testing.T) {
+	if !(Inst{Op: OpBne, Imm: -4}).IsBackwardBranch() {
+		t.Error("backward branch not recognized")
+	}
+	if (Inst{Op: OpBne, Imm: 4}).IsBackwardBranch() {
+		t.Error("forward branch recognized as backward")
+	}
+	if (Inst{Op: OpJmp, Imm: -4}).IsBackwardBranch() {
+		t.Error("jump recognized as backward branch")
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	insts := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpSltu, Rd: 31, Ra: 30, Rb: 29},
+		{Op: OpAddI, Rd: 4, Ra: 5, Imm: -123},
+		{Op: OpLui, Rd: 6, Imm: 0xFFFF},
+		{Op: OpLoad, Rd: 7, Ra: 8, Imm: 32},
+		{Op: OpStore, Rb: 9, Ra: 10, Imm: -32},
+		{Op: OpBeq, Ra: 11, Rb: 12, Imm: -2048},
+		{Op: OpBge, Ra: 13, Rb: 14, Imm: 32767},
+		{Op: OpJmp, Target: 0x1000},
+		{Op: OpJal, Target: 0x3FFFFFC},
+		{Op: OpJr, Ra: RegLink},
+		{Op: OpJalr, Ra: 15},
+	}
+	for _, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)) = 0x%08x: %v", in, w, err)
+		}
+		if out != in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		name string
+	}{
+		{Inst{Op: Op(250)}, "bad opcode"},
+		{Inst{Op: OpAddI, Rd: 1, Ra: 1, Imm: 1 << 20}, "imm too large"},
+		{Inst{Op: OpAddI, Rd: 1, Ra: 1, Imm: -(1 << 20)}, "imm too small"},
+		{Inst{Op: OpLui, Rd: 1, Imm: -1}, "negative lui"},
+		{Inst{Op: OpLui, Rd: 1, Imm: 1 << 17}, "lui too large"},
+		{Inst{Op: OpJmp, Target: 2}, "unaligned target"},
+		{Inst{Op: OpJmp, Target: 1 << 30}, "target too far"},
+		{Inst{Op: OpAdd, Rd: 32}, "register out of range"},
+		{Inst{Op: OpNop, Rd: 1}, "non-canonical nop"},
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3, Imm: 9}, "non-canonical add"},
+		{Inst{Op: OpJr, Ra: 1, Rb: 2}, "non-canonical jr"},
+		{Inst{Op: OpBeq, Ra: 1, Rb: 2, Rd: 3}, "non-canonical beq"},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c.in); err == nil {
+			t.Errorf("Encode(%s %+v): expected error", c.name, c.in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	words := []uint32{
+		uint32(numOps) << opShift, // undefined opcode
+		0xFFFFFFFF,                // undefined opcode, junk fields
+		uint32(OpNop)<<opShift | 1,
+		uint32(OpAdd)<<opShift | 0x7FF, // junk in unused R-format bits
+		uint32(OpJr)<<opShift | 0xFFFF, // junk in unused X-format bits
+	}
+	for _, w := range words {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(0x%08x): expected error", w)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid instruction")
+		}
+	}()
+	MustEncode(Inst{Op: Op(250)})
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDecode did not panic on invalid word")
+		}
+	}()
+	MustDecode(0xFFFFFFFF)
+}
+
+// randInst generates a random canonical instruction.
+func randInst(r *rand.Rand) Inst {
+	reg := func() uint8 { return uint8(r.Intn(NumRegs)) }
+	imm := func() int32 { return int32(int16(r.Uint32())) }
+	ops := []Op{
+		OpNop, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpLui, OpSlt, OpSltu,
+		OpLoad, OpStore, OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJal, OpJr,
+		OpJalr, OpHalt,
+	}
+	op := ops[r.Intn(len(ops))]
+	i := Inst{Op: op}
+	switch op {
+	case OpNop, OpHalt:
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSltu:
+		i.Rd, i.Ra, i.Rb = reg(), reg(), reg()
+	case OpAddI, OpLoad:
+		i.Rd, i.Ra, i.Imm = reg(), reg(), imm()
+	case OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		i.Rd, i.Ra, i.Imm = reg(), reg(), int32(r.Intn(1<<16))
+	case OpStore:
+		i.Rb, i.Ra, i.Imm = reg(), reg(), imm()
+	case OpBeq, OpBne, OpBlt, OpBge:
+		i.Ra, i.Rb, i.Imm = reg(), reg(), imm()
+	case OpJmp, OpJal:
+		i.Target = uint32(r.Intn(1<<24)) * WordSize
+	case OpJr, OpJalr:
+		i.Ra = reg()
+	case OpLui:
+		i.Rd, i.Imm = reg(), int32(r.Intn(1<<16))
+	}
+	return i
+}
+
+// TestQuickRoundTrip is the encode/decode round-trip property test: for
+// every canonical instruction, Decode(Encode(i)) == i.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for k := 0; k < 64; k++ {
+			in := randInst(r)
+			w, err := Encode(in)
+			if err != nil {
+				t.Logf("Encode(%+v): %v", in, err)
+				return false
+			}
+			out, err := Decode(w)
+			if err != nil {
+				t.Logf("Decode(0x%08x): %v", w, err)
+				return false
+			}
+			if out != in {
+				t.Logf("round trip %+v -> %+v", in, out)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeEncodeFixpoint: any word that decodes successfully must
+// re-encode to the identical word (canonical encodings are unique).
+func TestQuickDecodeEncodeFixpoint(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // non-canonical words are out of scope
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Logf("Encode(Decode(0x%08x)) failed: %v", w, err)
+			return false
+		}
+		return w2 == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddI, Rd: 1, Ra: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLui, Rd: 4, Imm: 255}, "lui r4, 255"},
+		{Inst{Op: OpLoad, Rd: 1, Ra: 29, Imm: 8}, "lw r1, 8(r29)"},
+		{Inst{Op: OpStore, Rb: 1, Ra: 29, Imm: 8}, "sw r1, 8(r29)"},
+		{Inst{Op: OpBeq, Ra: 1, Rb: 0, Imm: 16}, "beq r1, r0, +16"},
+		{Inst{Op: OpJmp, Target: 0x40}, "j 0x40"},
+		{Inst{Op: OpJal, Target: 0x40}, "jal 0x40"},
+		{Inst{Op: OpJr, Ra: RegLink}, "ret"},
+		{Inst{Op: OpJr, Ra: 5}, "jr r5"},
+		{Inst{Op: OpJalr, Ra: 5}, "jalr r5"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

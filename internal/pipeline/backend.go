@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/preproc"
+	"tracepre/internal/trace"
+)
+
+// backend models the distributed execution engine: NumPEs processing
+// elements, each holding one trace (a 16-instruction window) with
+// IssuePerPE-way issue, full bypassing inside a PE, and global result
+// buses adding XferLat cycles to cross-PE register communication.
+// Traces dispatch to PEs round-robin and retire in order.
+//
+// Issue is cycle-driven within a PE. An unpreprocessed trace issues with
+// a small scoreboard lookahead (the simple PE can pick ready
+// instructions only a few entries past the oldest unissued one).
+// A preprocessed trace issues in the dependence-height schedule the fill
+// unit precomputed with the whole window visible, its constant-folded
+// instructions have no input dependences, and its combined-ALU pairs
+// execute together — this is how preprocessing raises backend
+// throughput (§6).
+type backend struct {
+	cfg    BackendConfig
+	dcache *cache.Cache
+
+	regReady [isa.NumRegs]regStamp
+	peFree   []uint64
+	k        uint64 // dispatch counter for PE rotation
+	retired  uint64 // in-order retirement horizon
+
+	// arb models the Address Resolution Buffer enforcing memory
+	// dependences (Franklin & Sohi, referenced in §4.1): a load to a
+	// word with an in-flight store waits for the store's completion
+	// (store-to-load forwarding through the ARB).
+	arb     [arbEntries]arbEntry
+	arbNext int
+
+	// Stats.
+	dcacheMisses uint64
+	loads        uint64
+	arbForwards  uint64
+}
+
+// arbEntries is the ARB capacity; older stores age out.
+const arbEntries = 64
+
+type arbEntry struct {
+	addr uint32 // word-aligned
+	done uint64 // store completion cycle
+}
+
+// arbRecord notes a store's address and completion time.
+func (b *backend) arbRecord(addr uint32, done uint64) {
+	b.arb[b.arbNext] = arbEntry{addr: addr &^ 3, done: done}
+	b.arbNext = (b.arbNext + 1) % arbEntries
+}
+
+// arbReady returns the cycle at which a load from addr may execute:
+// after the youngest in-flight store to the same word.
+func (b *backend) arbReady(addr uint32) uint64 {
+	addr &^= 3
+	var latest uint64
+	for _, e := range b.arb {
+		if e.addr == addr && e.done > latest {
+			latest = e.done
+		}
+	}
+	return latest
+}
+
+type regStamp struct {
+	cycle uint64
+	pe    int
+}
+
+func newBackend(cfg BackendConfig, dc *cache.Cache) *backend {
+	return &backend{cfg: cfg, dcache: dc, peFree: make([]uint64, cfg.NumPEs)}
+}
+
+// latency returns the execution latency of an instruction; loads consult
+// the data cache.
+func (b *backend) latency(in isa.Inst, d emulator.Dyn) uint64 {
+	switch in.Op {
+	case isa.OpMul:
+		return uint64(b.cfg.MulLat)
+	case isa.OpDiv:
+		return uint64(b.cfg.DivLat)
+	case isa.OpLoad:
+		b.loads++
+		lat := uint64(b.cfg.LoadLat)
+		if !b.dcache.Access(d.MemAddr) {
+			b.dcacheMisses++
+			lat += uint64(b.cfg.L2Lat)
+		}
+		return lat
+	case isa.OpStore:
+		// Stores retire through the memory system without stalling
+		// dependents; access the cache for state/statistics.
+		if !b.dcache.Access(d.MemAddr) {
+			b.dcacheMisses++
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// dispatch executes one trace and returns its retirement cycle and the
+// completion cycle of its last control-flow instruction (which gates
+// mispredict redirects).
+func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, preprocessed bool) (retire, resolve uint64) {
+	pe := int(b.k) % b.cfg.NumPEs
+	b.k++
+	start := ready
+	if b.peFree[pe] > start {
+		start = b.peFree[pe]
+	}
+
+	var opt *preproc.Info
+	if preprocessed {
+		opt, _ = tr.Opt.(*preproc.Info)
+	}
+
+	n := tr.Len()
+	// Priority order: program order, or the fill unit's schedule.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lookahead := b.cfg.Lookahead
+	if opt != nil {
+		for i, idx := range opt.Order {
+			order[i] = int(idx)
+		}
+		lookahead = n // the schedule already sees the whole window
+	}
+
+	// fusedOf[i] = consumer fused onto producer i, or -1.
+	fusedOf := make([]int, n)
+	for i := range fusedOf {
+		fusedOf[i] = -1
+	}
+	if opt != nil {
+		for j, p := range opt.FusedWith {
+			if p >= 0 {
+				fusedOf[p] = j
+			}
+		}
+	}
+
+	writer := make(map[uint8]int, 8) // reg -> producing slot in this trace
+	for i, in := range tr.Insts {
+		if rd, w := in.WritesReg(); w {
+			writer[rd] = i
+		}
+	}
+
+	// Memory dependences: prevStore[i] is the slot of the latest
+	// earlier in-trace store to the same word as load i (-1 if none);
+	// loadFloor[i] is the completion cycle of the youngest in-flight
+	// store from earlier traces to that word (the ARB state is fixed
+	// for the duration of this trace — stores publish at the end).
+	prevStore := make([]int, n)
+	loadFloor := make([]uint64, n)
+	lastStore := make(map[uint32]int, 4)
+	for i, in := range tr.Insts {
+		prevStore[i] = -1
+		switch in.Op {
+		case isa.OpLoad:
+			if j, ok := lastStore[dyns[i].MemAddr&^3]; ok {
+				prevStore[i] = j
+				b.arbForwards++
+			} else if ar := b.arbReady(dyns[i].MemAddr); ar > start {
+				loadFloor[i] = ar
+				b.arbForwards++
+			}
+		case isa.OpStore:
+			lastStore[dyns[i].MemAddr&^3] = i
+		}
+	}
+	// firstWriter resolves whether a read at slot i sees an external
+	// value or an in-trace producer: the last writer before i.
+	producerOf := func(i int, r uint8) int {
+		p := -1
+		for j := 0; j < i; j++ {
+			if rd, w := tr.Insts[j].WritesReg(); w && rd == r {
+				p = j
+			}
+		}
+		return p
+	}
+
+	doneOf := make([]uint64, n)
+	issuedAt := make([]uint64, n)
+	issued := make([]bool, n)
+	remaining := n
+
+	readyAt := func(i int) (uint64, bool) {
+		in := tr.Insts[i]
+		rdy := start
+		// Memory dependences through the ARB apply even to
+		// constant-folded address computations.
+		if in.Op == isa.OpLoad {
+			if j := prevStore[i]; j >= 0 {
+				if !issued[j] {
+					return 0, false
+				}
+				if doneOf[j] > rdy {
+					rdy = doneOf[j]
+				}
+			} else if loadFloor[i] > rdy {
+				rdy = loadFloor[i]
+			}
+		}
+		if opt != nil && opt.Folded&(1<<uint(i)) != 0 {
+			return rdy, true
+		}
+		fusedOnto := -1
+		if opt != nil && opt.FusedWith[i] >= 0 {
+			fusedOnto = int(opt.FusedWith[i])
+		}
+		for _, r := range in.ReadsRegs(nil) {
+			if r == isa.RegZero {
+				continue
+			}
+			if p := producerOf(i, r); p >= 0 {
+				if !issued[p] {
+					return 0, false
+				}
+				c := doneOf[p]
+				if p == fusedOnto {
+					c = issuedAt[p] // combined ALU: dependence is free
+				}
+				if c > rdy {
+					rdy = c
+				}
+			} else {
+				st := b.regReady[r]
+				c := st.cycle
+				if st.pe != pe && c > start {
+					c += uint64(b.cfg.XferLat)
+				}
+				if c > rdy {
+					rdy = c
+				}
+			}
+		}
+		return rdy, true
+	}
+
+	lastDone := start
+	resolve = start
+	for c := start; remaining > 0; c++ {
+		slots := b.cfg.IssuePerPE
+		unissuedSeen := 0
+		for _, idx := range order {
+			if issued[idx] {
+				continue
+			}
+			unissuedSeen++
+			if unissuedSeen > lookahead || slots == 0 {
+				break
+			}
+			if opt == nil || opt.FusedWith[idx] < 0 {
+				// Fused consumers issue with their producer below.
+				rdy, ok := readyAt(idx)
+				if !ok || rdy > c {
+					continue
+				}
+				issued[idx] = true
+				issuedAt[idx] = c
+				doneOf[idx] = c + b.latency(tr.Insts[idx], dyns[idx])
+				remaining--
+				slots--
+				if f := fusedOf[idx]; f >= 0 && !issued[f] {
+					issued[f] = true
+					issuedAt[f] = c
+					doneOf[f] = c + b.latency(tr.Insts[f], dyns[f])
+					remaining--
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if doneOf[i] > lastDone {
+			lastDone = doneOf[i]
+		}
+		if tr.Insts[i].IsControl() && doneOf[i] > resolve {
+			resolve = doneOf[i]
+		}
+	}
+
+	// Publish register results and store completions for later traces.
+	for r, idx := range writer {
+		b.regReady[r] = regStamp{cycle: doneOf[idx], pe: pe}
+	}
+	for i, in := range tr.Insts {
+		if in.Op == isa.OpStore {
+			b.arbRecord(dyns[i].MemAddr, doneOf[i])
+		}
+	}
+
+	retire = lastDone
+	if b.retired > retire {
+		retire = b.retired // in-order retirement
+	}
+	b.retired = retire
+	b.peFree[pe] = retire
+	if resolve == start {
+		resolve = retire // traces with no control instruction
+	}
+	return retire, resolve
+}

@@ -1,0 +1,290 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/preproc"
+	"tracepre/internal/trace"
+)
+
+func testBackend() *backend {
+	dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
+	return newBackend(DefaultBackendConfig(), dc)
+}
+
+// mkTrace builds a trace and matching dyn records at sequential PCs.
+func mkTrace(insts ...isa.Inst) (*trace.Trace, []emulator.Dyn) {
+	pcs := make([]uint32, len(insts))
+	dyns := make([]emulator.Dyn, len(insts))
+	for i := range insts {
+		pcs[i] = 0x1000 + uint32(i*4)
+		dyns[i] = emulator.Dyn{PC: pcs[i], Inst: insts[i], MemAddr: 0x20000 + uint32(i*4)}
+	}
+	return &trace.Trace{PCs: pcs, Insts: insts}, dyns
+}
+
+func TestBackendSerialChain(t *testing.T) {
+	be := testBackend()
+	// Four dependent single-cycle adds: retire at start + 4.
+	tr, dyns := mkTrace(
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1},
+	)
+	retire, _ := be.dispatch(tr, dyns, 100, false)
+	if retire != 104 {
+		t.Errorf("retire = %d, want 104", retire)
+	}
+}
+
+func TestBackendDualIssue(t *testing.T) {
+	be := testBackend()
+	// Four independent adds, 2-way issue: 2 cycles.
+	tr, dyns := mkTrace(
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 2, Ra: 0, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 3, Ra: 0, Imm: 1},
+		isa.Inst{Op: isa.OpAddI, Rd: 4, Ra: 0, Imm: 1},
+	)
+	retire, _ := be.dispatch(tr, dyns, 100, false)
+	if retire != 102 {
+		t.Errorf("retire = %d, want 102", retire)
+	}
+}
+
+func TestBackendIssueWidthRespected(t *testing.T) {
+	be := testBackend()
+	insts := make([]isa.Inst, 8)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpAddI, Rd: uint8(i + 1), Ra: 0, Imm: 1}
+	}
+	tr, dyns := mkTrace(insts...)
+	retire, _ := be.dispatch(tr, dyns, 0, false)
+	// 8 independent 1-cycle ops at 2/cycle: last issues at cycle 3,
+	// completes at 4.
+	if retire != 4 {
+		t.Errorf("retire = %d, want 4", retire)
+	}
+}
+
+func TestBackendCrossPETransfer(t *testing.T) {
+	be := testBackend()
+	// Trace 1 on PE0 produces r1 at some cycle; trace 2 on PE1 consumes
+	// it with the +2 bus latency.
+	t1, d1 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 5})
+	r1, _ := be.dispatch(t1, d1, 100, false)
+	if r1 != 101 {
+		t.Fatalf("producer retire = %d", r1)
+	}
+	t2, d2 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 2, Ra: 1, Imm: 1})
+	r2, _ := be.dispatch(t2, d2, 100, false)
+	// Consumer on PE1: r1 ready at 101 + 2 (xfer) = 103; done 104.
+	if r2 != 104 {
+		t.Errorf("consumer retire = %d, want 104", r2)
+	}
+}
+
+func TestBackendSamePENoTransfer(t *testing.T) {
+	cfg := DefaultBackendConfig()
+	cfg.NumPEs = 1
+	dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
+	be := newBackend(cfg, dc)
+	t1, d1 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 5})
+	be.dispatch(t1, d1, 100, false)
+	t2, d2 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 2, Ra: 1, Imm: 1})
+	r2, _ := be.dispatch(t2, d2, 100, false)
+	// Same PE: no transfer, but the PE is busy until 101; issue 101,
+	// done 102.
+	if r2 != 102 {
+		t.Errorf("same-PE consumer retire = %d, want 102", r2)
+	}
+}
+
+func TestBackendLoadLatencyAndMiss(t *testing.T) {
+	be := testBackend()
+	tr, dyns := mkTrace(
+		isa.Inst{Op: isa.OpLoad, Rd: 1, Ra: 2, Imm: 0},
+		isa.Inst{Op: isa.OpAddI, Rd: 3, Ra: 1, Imm: 1},
+	)
+	retire, _ := be.dispatch(tr, dyns, 0, false)
+	// Cold load: issue 0, LoadLat 2 + L2 10 -> done 12; add done 13.
+	if retire != 13 {
+		t.Errorf("cold-load retire = %d, want 13", retire)
+	}
+	if be.dcacheMisses != 1 || be.loads != 1 {
+		t.Errorf("loads=%d misses=%d", be.loads, be.dcacheMisses)
+	}
+	// Warm load to the same line.
+	tr2, dyns2 := mkTrace(
+		isa.Inst{Op: isa.OpLoad, Rd: 4, Ra: 2, Imm: 0},
+	)
+	dyns2[0].MemAddr = 0x20000
+	r2, _ := be.dispatch(tr2, dyns2, 100, false)
+	if r2 < 102 || r2 > 103 {
+		t.Errorf("warm-load retire = %d", r2)
+	}
+	if be.dcacheMisses != 1 {
+		t.Errorf("warm load missed: %d", be.dcacheMisses)
+	}
+}
+
+func TestBackendInOrderRetirement(t *testing.T) {
+	be := testBackend()
+	// A slow trace (divide) followed by a fast one: the fast trace must
+	// not retire earlier.
+	slow, dSlow := mkTrace(isa.Inst{Op: isa.OpDiv, Rd: 1, Ra: 2, Rb: 3})
+	rSlow, _ := be.dispatch(slow, dSlow, 0, false)
+	fast, dFast := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 4, Ra: 0, Imm: 1})
+	rFast, _ := be.dispatch(fast, dFast, 0, false)
+	if rFast < rSlow {
+		t.Errorf("out-of-order retirement: %d < %d", rFast, rSlow)
+	}
+}
+
+func TestBackendLookaheadLimits(t *testing.T) {
+	// Head instruction waits on an external register produced far in
+	// the future; with lookahead 1, everything serializes behind it.
+	mk := func(lookahead int) uint64 {
+		cfg := DefaultBackendConfig()
+		cfg.Lookahead = lookahead
+		dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
+		be := newBackend(cfg, dc)
+		// Producer trace on PE0 making r1 available late.
+		prod, dProd := mkTrace(
+			isa.Inst{Op: isa.OpDiv, Rd: 1, Ra: 2, Rb: 3},
+		)
+		be.dispatch(prod, dProd, 0, false)
+		// Consumer trace: head depends on r1, the rest independent.
+		cons, dCons := mkTrace(
+			isa.Inst{Op: isa.OpAddI, Rd: 4, Ra: 1, Imm: 1},
+			isa.Inst{Op: isa.OpAddI, Rd: 5, Ra: 0, Imm: 1},
+			isa.Inst{Op: isa.OpAddI, Rd: 6, Ra: 0, Imm: 1},
+		)
+		r, _ := be.dispatch(cons, dCons, 0, false)
+		return r
+	}
+	narrow := mk(1)
+	wide := mk(8)
+	if wide > narrow {
+		t.Errorf("wider lookahead slower: %d > %d", wide, narrow)
+	}
+	if narrow == wide {
+		t.Error("lookahead had no effect on a stalled head")
+	}
+}
+
+func TestBackendPreprocessedFusionAndFolding(t *testing.T) {
+	// shl -> add dependent pair: fused executes the pair together.
+	insts := []isa.Inst{
+		{Op: isa.OpLoad, Rd: 1, Ra: 2, Imm: 0},
+		{Op: isa.OpShlI, Rd: 3, Ra: 1, Imm: 2},
+		{Op: isa.OpAdd, Rd: 4, Ra: 3, Rb: 1},
+	}
+	run := func(preprocessed bool) uint64 {
+		be := testBackend()
+		be.dcache.Access(0x20000) // warm the line
+		tr, dyns := mkTrace(insts...)
+		for i := range dyns {
+			dyns[i].MemAddr = 0x20000
+		}
+		if preprocessed {
+			tr.Opt = preproc.Optimize(tr)
+		}
+		r, _ := be.dispatch(tr, dyns, 0, preprocessed)
+		return r
+	}
+	plain := run(false)
+	fused := run(true)
+	if fused >= plain {
+		t.Errorf("fusion did not help: %d >= %d", fused, plain)
+	}
+}
+
+// TestBackendARBIntraTrace: a load following a same-word store inside
+// one trace waits for the store's completion.
+func TestBackendARBIntraTrace(t *testing.T) {
+	be := testBackend()
+	be.dcache.Access(0x20000) // warm line
+	// Store depends on a slow divide; the load must wait for the store.
+	insts := []isa.Inst{
+		{Op: isa.OpDiv, Rd: 1, Ra: 2, Rb: 3},    // done at 12
+		{Op: isa.OpStore, Rb: 1, Ra: 4, Imm: 0}, // waits for r1
+		{Op: isa.OpLoad, Rd: 5, Ra: 4, Imm: 0},  // same address
+	}
+	tr, dyns := mkTrace(insts...)
+	for i := range dyns {
+		dyns[i].MemAddr = 0x20000
+	}
+	retire, _ := be.dispatch(tr, dyns, 0, false)
+	// div: 0..12; store issues at 12, done 13; load waits for store
+	// done (13), issues, +2 = 15.
+	if retire < 15 {
+		t.Errorf("retire = %d, want >= 15 (load must wait for store)", retire)
+	}
+	if be.arbForwards != 1 {
+		t.Errorf("arbForwards = %d", be.arbForwards)
+	}
+}
+
+// TestBackendARBCrossTrace: a load in a later trace waits for an
+// in-flight store from an earlier trace to the same word.
+func TestBackendARBCrossTrace(t *testing.T) {
+	be := testBackend()
+	be.dcache.Access(0x20000)
+	// Trace 1: slow store (behind a divide).
+	t1, d1 := mkTrace(
+		isa.Inst{Op: isa.OpDiv, Rd: 1, Ra: 2, Rb: 3},
+		isa.Inst{Op: isa.OpStore, Rb: 1, Ra: 4, Imm: 0},
+	)
+	d1[0].MemAddr = 0x20000
+	d1[1].MemAddr = 0x20000
+	be.dispatch(t1, d1, 0, false)
+	// Trace 2 (other PE): load from the same word, dispatched early.
+	t2, d2 := mkTrace(isa.Inst{Op: isa.OpLoad, Rd: 5, Ra: 4, Imm: 0})
+	d2[0].MemAddr = 0x20000
+	retire, _ := be.dispatch(t2, d2, 0, false)
+	// The store completes at 13; the load cannot finish before 15.
+	if retire < 15 {
+		t.Errorf("retire = %d, want >= 15", retire)
+	}
+	if be.arbForwards != 1 {
+		t.Errorf("arbForwards = %d", be.arbForwards)
+	}
+	// A load from an unrelated word is not delayed.
+	be2 := testBackend()
+	be2.dcache.Access(0x20000)
+	be2.dcache.Access(0x30000)
+	be2.dispatch(t1, d1, 0, false)
+	t3, d3 := mkTrace(isa.Inst{Op: isa.OpLoad, Rd: 6, Ra: 4, Imm: 0})
+	d3[0].MemAddr = 0x30000
+	r3, _ := be2.dispatch(t3, d3, 0, false)
+	if r3 >= 15 {
+		t.Errorf("unrelated load delayed: retire %d", r3)
+	}
+}
+
+func TestBackendResolveGating(t *testing.T) {
+	be := testBackend()
+	tr, dyns := mkTrace(
+		isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 1},
+		isa.Inst{Op: isa.OpBne, Ra: 1, Rb: 0, Imm: 64},
+		isa.Inst{Op: isa.OpAddI, Rd: 2, Ra: 0, Imm: 1},
+	)
+	retire, resolve := be.dispatch(tr, dyns, 10, false)
+	if resolve > retire {
+		t.Errorf("resolve %d after retire %d", resolve, retire)
+	}
+	if resolve <= 10 {
+		t.Errorf("resolve = %d not after start", resolve)
+	}
+	// A trace without control resolves at retirement.
+	tr2, dyns2 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 1})
+	r2, res2 := be.dispatch(tr2, dyns2, 50, false)
+	if res2 != r2 {
+		t.Errorf("no-control resolve = %d, retire %d", res2, r2)
+	}
+}

@@ -1,0 +1,484 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tracepre/internal/bpred"
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/precon"
+	"tracepre/internal/preproc"
+	"tracepre/internal/program"
+	"tracepre/internal/tpred"
+	"tracepre/internal/trace"
+	"tracepre/internal/tracecache"
+)
+
+// Result aggregates everything a run measured. The accessor methods
+// compute the units the paper reports.
+type Result struct {
+	Instructions uint64
+	Traces       uint64
+	Cycles       uint64
+
+	// Trace supply.
+	TCHits         uint64 // demanded traces found in the trace cache
+	PreconSupplied uint64 // demanded traces found in the buffers
+	TCMisses       uint64 // demanded traces built by the slow path
+
+	// Slow path / instruction cache.
+	SlowPathInstrs     uint64 // instructions supplied by the i-cache
+	SlowICAccesses     uint64 // slow-path line accesses
+	SlowICMisses       uint64 // slow-path i-cache misses
+	InstrsFromICMisses uint64 // instructions supplied under an i-cache miss
+	TotalICMisses      uint64 // including preconstruction-induced misses
+	SlowBranchMisp     uint64 // slow-path bimodal/RAS/target mispredicts
+
+	// Backend (full timing only).
+	Loads        uint64
+	DCacheMisses uint64
+	ARBForwards  uint64 // loads ordered behind an in-flight same-word store
+
+	// Adaptive partition (when Config.AdaptivePartition): the final
+	// buffer-share target and how often the feedback loop moved it.
+	AdaptivePBShare float64
+	AdaptiveAdjusts uint64
+
+	// Windows holds per-window supply statistics when
+	// Config.WindowInstrs > 0: one entry per window of committed
+	// instructions, in execution order (phase behaviour shows up as
+	// periodic miss-rate swings).
+	Windows []WindowStat
+
+	Pred   tpred.Stats
+	Precon precon.Stats
+}
+
+// WindowStat is one measurement window of a run.
+type WindowStat struct {
+	Instructions   uint64
+	TCMisses       uint64
+	PreconSupplied uint64
+}
+
+// MissPerKI returns the window's trace-cache miss rate.
+func (w WindowStat) MissPerKI() float64 {
+	if w.Instructions == 0 {
+		return 0
+	}
+	return float64(w.TCMisses) * 1000 / float64(w.Instructions)
+}
+
+// TCMissPerKI returns trace cache misses per 1000 instructions, the
+// paper's Figure 5 metric. A demanded trace supplied by the
+// preconstruction buffers is a hit.
+func (r Result) TCMissPerKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.TCMisses) * 1000 / float64(r.Instructions)
+}
+
+// ICacheInstrsPerKI returns instructions supplied by the i-cache per
+// 1000 instructions (Table 1).
+func (r Result) ICacheInstrsPerKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.SlowPathInstrs) * 1000 / float64(r.Instructions)
+}
+
+// ICacheMissesPerKI returns total i-cache misses per 1000 instructions,
+// including misses induced by the preconstruction engine (Table 2).
+func (r Result) ICacheMissesPerKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.TotalICMisses) * 1000 / float64(r.Instructions)
+}
+
+// InstrsFromICMissesPerKI returns instructions supplied by i-cache
+// misses per 1000 instructions (Table 3).
+func (r Result) InstrsFromICMissesPerKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.InstrsFromICMisses) * 1000 / float64(r.Instructions)
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// traceCacheView is the primary trace cache as the frontend sees it.
+type traceCacheView interface {
+	Lookup(trace.ID) (*trace.Trace, bool)
+	Peek(trace.ID) (*trace.Trace, bool)
+	Insert(*trace.Trace)
+	Contains(trace.ID) bool
+}
+
+// bufferView is the preconstruction buffer array as the frontend sees
+// it: Take consumes an entry (the trace is copied to the trace cache).
+type bufferView interface {
+	Take(trace.ID) (*trace.Trace, bool)
+	Contains(trace.ID) bool
+	Insert(tr *trace.Trace, region uint64) bool
+}
+
+// Simulator is one configured trace processor bound to a program image.
+type Simulator struct {
+	cfg Config
+	im  *program.Image
+
+	tc   traceCacheView
+	buf  bufferView
+	adpt *tracecache.Adaptive // non-nil when Config.AdaptivePartition
+	ic   *cache.Cache
+	dc   *cache.Cache
+	bim  *bpred.Bimodal
+	ras  *bpred.RAS
+	itb  *bpred.TargetBuffer
+	pred *tpred.Predictor
+	eng  *precon.Engine
+	be   *backend
+
+	res Result
+
+	fetchFree   uint64
+	lastRetire  uint64
+	lastResolve uint64
+
+	window WindowStat // accumulating current window (WindowInstrs > 0)
+}
+
+// New builds a simulator for the image.
+func New(im *program.Image, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, im: im}
+	var err error
+	if cfg.AdaptivePartition {
+		unified := tracecache.Config{
+			Entries: cfg.TraceCache.Entries + cfg.Buffers.Entries,
+			Assoc:   cfg.TraceCache.Assoc,
+		}
+		if s.adpt, err = tracecache.NewAdaptive(unified); err != nil {
+			return nil, err
+		}
+		s.tc = s.adpt
+		s.buf = s.adpt.PBView()
+	} else {
+		tc, err := tracecache.New(cfg.TraceCache)
+		if err != nil {
+			return nil, err
+		}
+		s.tc = tc
+	}
+	if s.ic, err = cache.New(cfg.ICache); err != nil {
+		return nil, err
+	}
+	if s.bim, err = bpred.NewBimodal(cfg.BimodalEntries); err != nil {
+		return nil, err
+	}
+	if s.ras, err = bpred.NewRAS(cfg.RASDepth); err != nil {
+		return nil, err
+	}
+	if s.itb, err = bpred.NewTargetBuffer(cfg.TargetEntries); err != nil {
+		return nil, err
+	}
+	if s.pred, err = tpred.New(cfg.Pred); err != nil {
+		return nil, err
+	}
+	if cfg.PreconEnabled() {
+		if s.buf == nil {
+			buf, err := tracecache.NewBuffers(cfg.Buffers)
+			if err != nil {
+				return nil, err
+			}
+			s.buf = buf
+		}
+		pcfg := cfg.Precon
+		pcfg.Select = cfg.Select
+		if s.eng, err = precon.New(pcfg, im, s.bim, s.ic, s.tc, s.buf); err != nil {
+			return nil, err
+		}
+		if pcfg.ResolveIndirects {
+			s.eng.SetTargetBuffer(s.itb)
+		}
+	}
+	if cfg.FullTiming {
+		if s.dc, err = cache.New(cfg.DCache); err != nil {
+			return nil, err
+		}
+		s.be = newBackend(cfg.Backend, s.dc)
+	}
+	return s, nil
+}
+
+// MustNew builds a simulator, panicking on config error.
+func MustNew(im *program.Image, cfg Config) *Simulator {
+	s, err := New(im, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PreconEngine exposes the preconstruction engine (nil when disabled)
+// for diagnostics and the anatomy example.
+func (s *Simulator) PreconEngine() *precon.Engine { return s.eng }
+
+// Run executes up to budget committed instructions and returns the
+// measurements. Run may be called once per Simulator.
+func (s *Simulator) Run(budget uint64) (Result, error) {
+	em := emulator.New(s.im)
+	seg := trace.NewSegmenter(s.cfg.Select)
+	dyns := make([]emulator.Dyn, 0, s.cfg.Select.MaxLen)
+	_, err := em.Run(budget, func(d emulator.Dyn) bool {
+		dyns = append(dyns, d)
+		if tr := seg.Push(d); tr != nil {
+			s.onTrace(tr, dyns)
+			dyns = dyns[:0]
+		}
+		return true
+	})
+	if err != nil {
+		return s.res, fmt.Errorf("pipeline: %w", err)
+	}
+	// The final partial trace (if any) is dropped: it never became a
+	// demanded trace.
+	if s.eng != nil {
+		s.res.Precon = s.eng.Stats()
+	}
+	s.res.Pred = s.pred.Stats()
+	if s.be != nil {
+		s.res.Loads = s.be.loads
+		s.res.DCacheMisses = s.be.dcacheMisses
+		s.res.ARBForwards = s.be.arbForwards
+	}
+	s.res.TotalICMisses = s.ic.Stats().Misses
+	if s.adpt != nil {
+		s.res.AdaptivePBShare = s.adpt.TargetPBShare()
+		s.res.AdaptiveAdjusts = s.adpt.Adjustments()
+	}
+	return s.res, nil
+}
+
+// onTrace processes one demanded trace through the frontend and charges
+// its timing.
+func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
+	id := tr.ID()
+	n := tr.Len()
+	s.res.Traces++
+	s.res.Instructions += uint64(n)
+	if s.cfg.WindowInstrs > 0 {
+		s.window.Instructions += uint64(n)
+	}
+
+	predID, predOK := s.pred.Predict()
+	predHit := predOK && predID == id
+
+	if s.eng != nil {
+		s.eng.OnDemandFetch(id.Start)
+	}
+
+	// Probe the trace cache, then the preconstruction buffers.
+	supplied := tr
+	hit := false
+	if got, ok := s.tc.Lookup(id); ok {
+		supplied = got
+		hit = true
+		s.res.TCHits++
+	} else if s.buf != nil {
+		if got, ok := s.buf.Take(id); ok {
+			if s.cfg.PreprocEnabled && got.Opt == nil {
+				got.Opt = preproc.Optimize(got)
+			}
+			if s.adpt == nil {
+				// The adaptive store promotes in place; the split
+				// design copies the trace into the trace cache.
+				s.tc.Insert(got)
+			}
+			supplied = got
+			hit = true
+			s.res.PreconSupplied++
+			s.window.PreconSupplied++
+		}
+	}
+
+	var fetchLat, slowBusy uint64
+	if hit {
+		fetchLat = 1 // single-cycle trace cache read
+	} else {
+		s.res.TCMisses++
+		s.window.TCMisses++
+		fetchLat, slowBusy = s.slowPath(tr, dyns)
+		if s.cfg.PreprocEnabled {
+			tr.Opt = preproc.Optimize(tr)
+		}
+		s.tc.Insert(tr)
+	}
+
+	// Frontend timing: redirects delay the fetch after a next-trace
+	// misprediction until the offending branch resolved.
+	fetchStart := s.fetchFree
+	if !predHit {
+		redirect := s.lastResolve + uint64(s.cfg.MispredictPenalty)
+		if redirect > fetchStart {
+			fetchStart = redirect
+		}
+	}
+	fetchDone := fetchStart + fetchLat
+	s.fetchFree = fetchDone
+
+	var retire, resolve uint64
+	if s.be != nil {
+		preprocessed := s.cfg.PreprocEnabled && hit
+		retire, resolve = s.be.dispatch(supplied, dyns, fetchDone, preprocessed)
+	} else {
+		drain := uint64(float64(n)/s.cfg.FrontendIPC + 0.5)
+		if drain == 0 {
+			drain = 1
+		}
+		base := fetchDone
+		if s.lastRetire > base {
+			base = s.lastRetire
+		}
+		retire = base + drain
+		resolve = retire
+	}
+	prevRetire := s.lastRetire
+	s.lastRetire = retire
+	s.lastResolve = resolve
+	s.res.Cycles = retire
+
+	// On a next-trace misprediction the machine dispatched the wrong
+	// (predicted) trace before the branch resolved; the engine's stack
+	// observes that wrong path and flushes it at recovery.
+	if s.eng != nil && s.cfg.ObserveWrongPath && !predHit && predOK {
+		if wrong, ok := s.tc.Peek(predID); ok && predID != id {
+			br := 0
+			for k, in := range wrong.Insts {
+				d := emulator.Dyn{PC: wrong.PCs[k], Inst: in}
+				if in.IsBranch() {
+					d.Taken = wrong.BrMask&(1<<br) != 0
+					br++
+				}
+				s.eng.ObserveSpeculative(d)
+			}
+			s.eng.FlushSpeculation()
+		}
+	}
+
+	// Grant the preconstruction engine the cycles the slow path sat
+	// idle, then let it observe the dispatch stream.
+	if s.eng != nil {
+		idle := int64(retire-prevRetire) - int64(slowBusy)
+		if idle > 0 {
+			s.eng.Step(int(idle))
+		}
+		for _, d := range dyns {
+			s.eng.Observe(d)
+		}
+	}
+
+	// Train the slow-path predictors from the resolved stream and the
+	// next-trace predictor with the actual trace.
+	for _, d := range dyns {
+		switch d.Inst.Classify() {
+		case isa.ClassBranch:
+			s.bim.Update(d.PC, d.Taken)
+		case isa.ClassJumpInd:
+			s.itb.Update(d.PC, d.NextPC)
+		}
+	}
+	s.pred.Update(tr)
+
+	if s.cfg.WindowInstrs > 0 && s.window.Instructions >= s.cfg.WindowInstrs {
+		s.res.Windows = append(s.res.Windows, s.window)
+		s.window = WindowStat{}
+	}
+}
+
+// slowPath charges the conventional fetch path for building the trace:
+// line-granular i-cache accesses at SlowFetchWidth instructions per
+// cycle, L2 latency on misses, and per-branch prediction penalties from
+// the bimodal predictor, RAS and indirect target buffer. It returns the
+// total fetch latency and the cycles the i-cache port was busy.
+func (s *Simulator) slowPath(tr *trace.Trace, dyns []emulator.Dyn) (fetchLat, busy uint64) {
+	s.res.SlowPathInstrs += uint64(tr.Len())
+	var lastLine uint32
+	haveLine := false
+	lineMissed := false
+	groupCount := 0 // instructions fetched in the current cycle group
+	for i, pc := range tr.PCs {
+		line := s.ic.LineAddr(pc)
+		newGroup := false
+		if !haveLine || line != lastLine {
+			s.res.SlowICAccesses++
+			if !s.ic.Access(line) {
+				s.res.SlowICMisses++
+				fetchLat += uint64(s.cfg.Backend.L2Lat)
+				lineMissed = true
+			} else {
+				lineMissed = false
+			}
+			lastLine = line
+			haveLine = true
+			newGroup = true
+		}
+		// A taken control transfer ends the fetch group even within a
+		// line (one noncontiguous block per cycle).
+		if i > 0 {
+			prev := tr.PCs[i-1]
+			if pc != prev+isa.WordSize {
+				newGroup = true
+			}
+		}
+		if newGroup || groupCount == s.cfg.SlowFetchWidth {
+			busy++
+			groupCount = 0
+		}
+		groupCount++
+		if lineMissed {
+			s.res.InstrsFromICMisses++
+		}
+
+		// Per-branch prediction penalties.
+		in := tr.Insts[i]
+		d := dyns[i]
+		switch in.Classify() {
+		case isa.ClassBranch:
+			if s.bim.Predict(pc) != d.Taken {
+				fetchLat += uint64(s.cfg.MispredictPenalty)
+				s.res.SlowBranchMisp++
+			}
+		case isa.ClassCall:
+			s.ras.Push(pc + isa.WordSize)
+		case isa.ClassReturn:
+			if target, ok := s.ras.Pop(); !ok || target != d.NextPC {
+				fetchLat += uint64(s.cfg.MispredictPenalty)
+				s.res.SlowBranchMisp++
+			}
+		case isa.ClassJumpInd:
+			if in.IsCall() {
+				s.ras.Push(pc + isa.WordSize)
+			}
+			// Training happens at retirement (onTrace) for all paths;
+			// here only the penalty is charged.
+			if target, ok := s.itb.Predict(pc); !ok || target != d.NextPC {
+				fetchLat += uint64(s.cfg.MispredictPenalty)
+				s.res.SlowBranchMisp++
+			}
+		}
+	}
+	fetchLat += busy
+	return fetchLat, busy
+}

@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+	"tracepre/internal/trace"
+)
+
+// slowRig builds a simulator around a straight-line image so slowPath
+// can be called directly on crafted traces.
+func slowRig(t *testing.T, n int) *Simulator {
+	t.Helper()
+	b := program.NewBuilder(0x1000)
+	for i := 0; i < n; i++ {
+		b.ALUI(isa.OpAddI, 1, 1, 1)
+	}
+	b.Halt()
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustNew(im, DefaultConfig())
+}
+
+// mkSeq builds a trace plus dyns from sequential straight-line PCs.
+func mkSeq(start uint32, n int) (*trace.Trace, []emulator.Dyn) {
+	tr := &trace.Trace{}
+	var dyns []emulator.Dyn
+	for i := 0; i < n; i++ {
+		pc := start + uint32(i*4)
+		in := isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1}
+		tr.PCs = append(tr.PCs, pc)
+		tr.Insts = append(tr.Insts, in)
+		dyns = append(dyns, emulator.Dyn{PC: pc, Inst: in, NextPC: pc + 4})
+	}
+	tr.Succ = start + uint32(n*4)
+	return tr, dyns
+}
+
+// TestSlowPathGroupAccounting: a 16-instruction straight-line trace
+// within one 64-byte line at width 4 costs exactly 4 busy cycles.
+func TestSlowPathGroupAccounting(t *testing.T) {
+	s := slowRig(t, 64)
+	tr, dyns := mkSeq(0x1000, 16) // 0x1000..0x103c: one line
+	fetchLat, busy := s.slowPath(tr, dyns)
+	if busy != 4 {
+		t.Errorf("busy = %d, want 4", busy)
+	}
+	// One cold line miss: fetchLat = busy + L2Lat.
+	want := busy + uint64(s.cfg.Backend.L2Lat)
+	if fetchLat != want {
+		t.Errorf("fetchLat = %d, want %d", fetchLat, want)
+	}
+	if s.res.SlowPathInstrs != 16 {
+		t.Errorf("SlowPathInstrs = %d", s.res.SlowPathInstrs)
+	}
+	if s.res.SlowICMisses != 1 || s.res.SlowICAccesses != 1 {
+		t.Errorf("accesses/misses = %d/%d", s.res.SlowICAccesses, s.res.SlowICMisses)
+	}
+	// Every instruction came from a line that missed.
+	if s.res.InstrsFromICMisses != 16 {
+		t.Errorf("InstrsFromICMisses = %d", s.res.InstrsFromICMisses)
+	}
+}
+
+// TestSlowPathWarmLine: refetching the same line is miss-free and
+// contributes no miss-supplied instructions.
+func TestSlowPathWarmLine(t *testing.T) {
+	s := slowRig(t, 64)
+	tr, dyns := mkSeq(0x1000, 16)
+	s.slowPath(tr, dyns)
+	missBefore := s.res.SlowICMisses
+	fetchLat, busy := s.slowPath(tr, dyns)
+	if s.res.SlowICMisses != missBefore {
+		t.Error("warm refetch missed")
+	}
+	if fetchLat != busy {
+		t.Errorf("warm fetchLat %d != busy %d", fetchLat, busy)
+	}
+	if s.res.InstrsFromICMisses != 16 {
+		t.Errorf("warm instructions counted as miss-supplied: %d", s.res.InstrsFromICMisses)
+	}
+}
+
+// TestSlowPathLineCrossing: a trace spanning two lines costs two
+// accesses and the line boundary starts a new fetch group.
+func TestSlowPathLineCrossing(t *testing.T) {
+	s := slowRig(t, 64)
+	// Start 2 instructions before a line boundary: 0x1038..0x1077.
+	tr, dyns := mkSeq(0x1038, 8)
+	_, busy := s.slowPath(tr, dyns)
+	if s.res.SlowICAccesses != 2 {
+		t.Errorf("accesses = %d, want 2", s.res.SlowICAccesses)
+	}
+	// Groups: [2 instrs][4][2] = 3 busy cycles.
+	if busy != 3 {
+		t.Errorf("busy = %d, want 3", busy)
+	}
+}
+
+// TestSlowPathTakenBranchBreaksGroup: noncontiguous PCs force a new
+// group even within one line.
+func TestSlowPathTakenBranchBreaksGroup(t *testing.T) {
+	s := slowRig(t, 64)
+	tr := &trace.Trace{}
+	var dyns []emulator.Dyn
+	add := func(pc uint32, in isa.Inst, d emulator.Dyn) {
+		tr.PCs = append(tr.PCs, pc)
+		tr.Insts = append(tr.Insts, in)
+		dyns = append(dyns, d)
+	}
+	// Branch at 0x1000 jumps to 0x1020 (same line).
+	br := isa.Inst{Op: isa.OpBne, Ra: 1, Rb: 0, Imm: 0x20}
+	add(0x1000, br, emulator.Dyn{PC: 0x1000, Inst: br, Taken: true, NextPC: 0x1020})
+	in := isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1}
+	add(0x1020, in, emulator.Dyn{PC: 0x1020, Inst: in, NextPC: 0x1024})
+	add(0x1024, in, emulator.Dyn{PC: 0x1024, Inst: in, NextPC: 0x1028})
+	_, busy := s.slowPath(tr, dyns)
+	if s.res.SlowICAccesses != 1 {
+		t.Errorf("accesses = %d, want 1 (same line)", s.res.SlowICAccesses)
+	}
+	if busy != 2 {
+		t.Errorf("busy = %d, want 2 (branch splits the group)", busy)
+	}
+}
+
+// TestSlowPathBranchPenalties: bimodal mispredictions charge the
+// configured penalty into the fetch latency.
+func TestSlowPathBranchPenalties(t *testing.T) {
+	s := slowRig(t, 64)
+	br := isa.Inst{Op: isa.OpBne, Ra: 1, Rb: 0, Imm: 0x40}
+	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{br}}
+	dyns := []emulator.Dyn{{PC: 0x1000, Inst: br, Taken: false, NextPC: 0x1004}}
+	// Reset state is weakly taken; the not-taken outcome mispredicts.
+	fetchLat, busy := s.slowPath(tr, dyns)
+	wantPenalty := uint64(s.cfg.MispredictPenalty)
+	if fetchLat < busy+wantPenalty {
+		t.Errorf("fetchLat %d missing mispredict penalty", fetchLat)
+	}
+	if s.res.SlowBranchMisp != 1 {
+		t.Errorf("mispredicts = %d", s.res.SlowBranchMisp)
+	}
+}
+
+// TestSlowPathRASPenalty: a return with an empty or wrong RAS charges a
+// penalty; after a matching call it does not.
+func TestSlowPathRASPenalty(t *testing.T) {
+	s := slowRig(t, 64)
+	ret := isa.Inst{Op: isa.OpJr, Ra: isa.RegLink}
+	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{ret}, EndsInReturn: true}
+	dyns := []emulator.Dyn{{PC: 0x1000, Inst: ret, NextPC: 0x2004}}
+	s.slowPath(tr, dyns)
+	if s.res.SlowBranchMisp != 1 {
+		t.Fatalf("empty-RAS return not penalized: %d", s.res.SlowBranchMisp)
+	}
+	// Now a call followed by the matching return predicts cleanly.
+	call := isa.Inst{Op: isa.OpJal, Target: 0x1000}
+	trCall := &trace.Trace{PCs: []uint32{0x2000}, Insts: []isa.Inst{call}}
+	dynsCall := []emulator.Dyn{{PC: 0x2000, Inst: call, NextPC: 0x1000}}
+	s.slowPath(trCall, dynsCall)
+	before := s.res.SlowBranchMisp
+	s.slowPath(tr, dyns)
+	if s.res.SlowBranchMisp != before {
+		t.Errorf("matched return penalized")
+	}
+}

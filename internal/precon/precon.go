@@ -1,0 +1,593 @@
+// Package precon implements trace preconstruction, the paper's central
+// contribution: a mechanism that watches the processor's dispatch stream
+// for loop back edges and procedure calls, "leaps ahead" to the loop
+// exit or return point, fetches static instructions through the
+// otherwise-idle slow-path instruction cache port, and constructs traces
+// ahead of need into dedicated preconstruction buffers.
+//
+// The structure mirrors §3 of the paper:
+//
+//   - a start-point stack (depth 16, plus 4 entries remembering recently
+//     completed regions) prioritizes region start points newest-first;
+//   - four region slots, each owning a 256-instruction fill-only
+//     prefetch cache and a worklist of trace start points;
+//   - four trace constructors walk the static code from start points,
+//     following strongly-biased branches one way only (consulting the
+//     shared bimodal predictor), forking at weakly-biased branches via
+//     an internal decision stack, and terminating at unresolved
+//     indirect jumps;
+//   - completed traces go to the preconstruction buffers unless already
+//     in the trace cache; the buffers' region-priority replacement is
+//     what bounds per-region effort.
+//
+// Alignment: regions rooted at return points start construction exactly
+// at the return address (demanded traces start there too, because
+// traces end at returns). Regions rooted at loop exits first perform a
+// short pre-walk that reproduces the tail of the processor's trace
+// containing the final backward branch — counting instructions past the
+// branch to the next multiple-of-AlignMod boundary — and start
+// construction at that boundary, where the processor's next demanded
+// trace will begin.
+package precon
+
+import (
+	"fmt"
+
+	"tracepre/internal/bpred"
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+	"tracepre/internal/trace"
+)
+
+// TraceStore is what the engine needs from the primary trace cache: a
+// residency probe, used to avoid buffering traces already cached.
+type TraceStore interface {
+	Contains(trace.ID) bool
+}
+
+// BufferStore is what the engine needs from the preconstruction
+// buffers: residency probes and priority-tagged insertion. Insert
+// returning false (replacement refused) terminates the inserting
+// region.
+type BufferStore interface {
+	Contains(trace.ID) bool
+	Insert(tr *trace.Trace, region uint64) bool
+}
+
+// Config parameterizes the engine. Defaults follow §3 and §4.1.
+type Config struct {
+	StackDepth         int // region start-point stack depth (16)
+	CompletedSlots     int // recently-completed region memory (4)
+	NumRegions         int // prefetch caches / concurrent regions (4)
+	PrefetchInstrs     int // instructions per prefetch cache (256)
+	NumConstructors    int // parallel trace constructors (4)
+	WorklistCap        int // trace start points queued per region
+	DecisionDepth      int // weak branches forked per start point
+	MaxTracesPerStart  int // DFS bound per start point
+	MaxTracesPerRegion int // safety bound per region
+	StepInstrs         int // instructions a constructor advances per work unit
+	PreWalkCap         int // instruction budget for loop-exit boundary walk
+	CallStackDepth     int // constructor-internal call stack
+
+	// ResolveIndirects is an extension beyond the paper: instead of
+	// abandoning a path at an indirect jump ("the target is unknown",
+	// §2.1), the constructor consults the slow path's indirect target
+	// buffer (installed via SetTargetBuffer) for the likely target and
+	// continues the region there. Trace selection is unchanged —
+	// traces still end at the indirect jump — only the successor
+	// start point becomes known.
+	ResolveIndirects bool
+
+	Select trace.SelectConfig
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		StackDepth:         16,
+		CompletedSlots:     4,
+		NumRegions:         4,
+		PrefetchInstrs:     256,
+		NumConstructors:    4,
+		WorklistCap:        8,
+		DecisionDepth:      4,
+		MaxTracesPerStart:  8,
+		MaxTracesPerRegion: 64,
+		StepInstrs:         4,
+		PreWalkCap:         16,
+		CallStackDepth:     16,
+		Select:             trace.DefaultSelectConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StackDepth <= 0 || c.CompletedSlots < 0 {
+		return fmt.Errorf("precon: stack %d/%d", c.StackDepth, c.CompletedSlots)
+	}
+	if c.NumRegions <= 0 || c.NumConstructors <= 0 {
+		return fmt.Errorf("precon: regions %d constructors %d", c.NumRegions, c.NumConstructors)
+	}
+	if c.PrefetchInstrs <= 0 || c.WorklistCap <= 0 {
+		return fmt.Errorf("precon: prefetch %d worklist %d", c.PrefetchInstrs, c.WorklistCap)
+	}
+	if c.DecisionDepth < 0 || c.MaxTracesPerStart <= 0 || c.MaxTracesPerRegion <= 0 {
+		return fmt.Errorf("precon: decision/trace bounds")
+	}
+	if c.StepInstrs <= 0 || c.PreWalkCap <= 0 || c.CallStackDepth <= 0 {
+		return fmt.Errorf("precon: step/prewalk/callstack bounds")
+	}
+	return c.Select.Validate()
+}
+
+// Kind distinguishes the two region start-point constructs of §3.2.
+type Kind uint8
+
+const (
+	// ReturnPoint start points are the instruction after a call: the
+	// address execution resumes at when the procedure returns.
+	ReturnPoint Kind = iota
+	// LoopExit start points are the fall-through of a backward branch:
+	// the address execution reaches when the loop finally exits.
+	LoopExit
+)
+
+func (k Kind) String() string {
+	if k == ReturnPoint {
+		return "return-point"
+	}
+	return "loop-exit"
+}
+
+// StartPoint is one entry of the region start-point stack.
+type StartPoint struct {
+	Addr uint32
+	Kind Kind
+}
+
+// stackEntry is a stacked start point plus its speculation mark: points
+// pushed from wrong-path dispatch are removed when the misprediction
+// resolves ("start points are removed from the stack if they
+// correspond to misspeculation", §3.2).
+type stackEntry struct {
+	StartPoint
+	spec bool
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	StackPushes      uint64
+	StackDedups      uint64 // pushes suppressed by the top-of-stack rule
+	StackOverflows   uint64 // oldest entries discarded
+	StackCaughtUp    uint64 // entries removed because execution arrived
+	SpecPushes       uint64 // pushes from wrong-path dispatch
+	SpecFlushed      uint64 // speculative entries removed at resolution
+	RegionsActivated uint64
+	RegionsCompleted uint64
+	RegionsCaughtUp  uint64 // terminated because the processor arrived
+	RegionsExhausted uint64 // terminated by prefetch-cache fill
+	RegionsBounded   uint64 // terminated by buffer-replacement rejection
+	CompletedSkips   uint64 // start points skipped (recently completed)
+	TracesBuilt      uint64
+	TracesDuplicate  uint64 // already in trace cache or buffers
+	LinesFetched     uint64
+	ICacheMisses     uint64 // engine-induced instruction cache misses
+	PreWalkAborts    uint64
+	WorkUnits        uint64
+}
+
+// Engine is the trace preconstruction unit.
+type Engine struct {
+	cfg Config
+	im  *program.Image
+	bim *bpred.Bimodal
+	ic  *cache.Cache
+	tc  TraceStore
+	buf BufferStore
+
+	stack     []stackEntry
+	completed []uint32 // ring of recently completed region starts
+	compNext  int
+
+	regions   []*region
+	ctors     []*constructor
+	regionSeq uint64
+	stats     Stats
+
+	// fetchBudget is the number of prefetch-cache line fills remaining
+	// in the current work unit: the engine shares a single instruction
+	// cache port, so it fetches at most one line per idle cycle.
+	fetchBudget int
+
+	// traceHook, when set, observes every constructed trace with the
+	// start point of the region that built it (diagnostics, examples).
+	traceHook func(tr *trace.Trace, sp StartPoint)
+
+	// itb resolves indirect-jump targets when ResolveIndirects is on.
+	itb *bpred.TargetBuffer
+}
+
+// SetTargetBuffer shares the slow path's indirect target buffer with
+// the engine (used only when Config.ResolveIndirects is set).
+func (e *Engine) SetTargetBuffer(tb *bpred.TargetBuffer) { e.itb = tb }
+
+// SetTraceHook installs an observer called for every trace the engine
+// constructs (including duplicates). Pass nil to remove it.
+func (e *Engine) SetTraceHook(fn func(tr *trace.Trace, sp StartPoint)) {
+	e.traceHook = fn
+}
+
+// region is one active preconstruction region (one prefetch cache plus
+// its worklist).
+type region struct {
+	seq      uint64
+	start    StartPoint
+	worklist []uint32
+	seen     map[uint32]bool // trace start points already queued
+	lines    map[uint32]bool // prefetch cache contents (line addresses)
+	built    int
+	active   bool
+	// prewalked is false for loop-exit regions until the boundary walk
+	// has produced the first trace start point.
+	prewalked bool
+}
+
+func (r *region) lineCap(cfg Config) int {
+	return cfg.PrefetchInstrs * isa.WordSize / 64
+}
+
+// New builds an engine sharing the image, bimodal predictor, instruction
+// cache, trace cache and preconstruction buffers with the frontend.
+func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
+	tc TraceStore, buf BufferStore) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		im:        im,
+		bim:       bim,
+		ic:        ic,
+		tc:        tc,
+		buf:       buf,
+		completed: make([]uint32, cfg.CompletedSlots),
+		regions:   make([]*region, cfg.NumRegions),
+		ctors:     make([]*constructor, cfg.NumConstructors),
+	}
+	for i := range e.ctors {
+		e.ctors[i] = newConstructor(e)
+	}
+	return e, nil
+}
+
+// MustNew builds an engine, panicking on config error.
+func MustNew(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
+	tc TraceStore, buf BufferStore) *Engine {
+	e, err := New(cfg, im, bim, ic, tc, buf)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Observe monitors one dispatched-and-retiring instruction for region
+// start-point events: calls push their return address, taken backward
+// branches push their fall-through (the loop exit). Reaching a stacked
+// start point removes it.
+func (e *Engine) Observe(d emulator.Dyn) {
+	// Execution arriving at a stacked start point retires it.
+	for i := len(e.stack) - 1; i >= 0; i-- {
+		if e.stack[i].Addr == d.PC {
+			e.stack = append(e.stack[:i], e.stack[i+1:]...)
+			e.stats.StackCaughtUp++
+			break
+		}
+	}
+	e.observeEvents(d, false)
+}
+
+// ObserveSpeculative monitors a wrong-path dispatched instruction: its
+// start points enter the stack (and may displace older entries) but are
+// marked and removed when FlushSpeculation reports the misprediction
+// resolved. Wrong-path instructions never retire entries.
+func (e *Engine) ObserveSpeculative(d emulator.Dyn) {
+	e.observeEvents(d, true)
+}
+
+// FlushSpeculation removes every speculative entry (mispredict
+// recovery).
+func (e *Engine) FlushSpeculation() {
+	kept := e.stack[:0]
+	for _, en := range e.stack {
+		if en.spec {
+			e.stats.SpecFlushed++
+			continue
+		}
+		kept = append(kept, en)
+	}
+	e.stack = kept
+}
+
+func (e *Engine) observeEvents(d emulator.Dyn, spec bool) {
+	switch {
+	case d.Inst.IsCall():
+		e.push(StartPoint{Addr: d.PC + isa.WordSize, Kind: ReturnPoint}, spec)
+	case d.Inst.IsBackwardBranch() && d.Taken:
+		e.push(StartPoint{Addr: d.PC + isa.WordSize, Kind: LoopExit}, spec)
+	}
+}
+
+// push adds a start point, deduplicating against the top of the stack
+// and discarding the oldest entry on overflow.
+func (e *Engine) push(sp StartPoint, spec bool) {
+	if n := len(e.stack); n > 0 && e.stack[n-1].Addr == sp.Addr {
+		e.stats.StackDedups++
+		return
+	}
+	if len(e.stack) == e.cfg.StackDepth {
+		copy(e.stack, e.stack[1:])
+		e.stack = e.stack[:len(e.stack)-1]
+		e.stats.StackOverflows++
+	}
+	e.stack = append(e.stack, stackEntry{StartPoint: sp, spec: spec})
+	e.stats.StackPushes++
+	if spec {
+		e.stats.SpecPushes++
+	}
+}
+
+// StackDepth returns the number of pending start points (for tests).
+func (e *Engine) StackDepth() int { return len(e.stack) }
+
+// OnDemandFetch notifies the engine that the processor is fetching a
+// trace starting at pc. If pc is one of a region's trace start points,
+// the processor has caught up with that region — the fill unit is now
+// building its traces directly — and its preconstruction terminates.
+func (e *Engine) OnDemandFetch(pc uint32) {
+	for _, r := range e.regions {
+		if r != nil && r.active && (r.start.Addr == pc || r.seen[pc]) {
+			e.completeRegion(r, &e.stats.RegionsCaughtUp)
+		}
+	}
+}
+
+// completeRegion retires a region, freeing its slot and remembering its
+// start so it is not immediately re-preconstructed.
+func (e *Engine) completeRegion(r *region, reason *uint64) {
+	if !r.active {
+		return
+	}
+	r.active = false
+	e.stats.RegionsCompleted++
+	if reason != nil {
+		*reason++
+	}
+	if e.cfg.CompletedSlots > 0 {
+		e.completed[e.compNext] = r.start.Addr
+		e.compNext = (e.compNext + 1) % e.cfg.CompletedSlots
+	}
+	for _, c := range e.ctors {
+		if c.reg == r {
+			c.reset()
+		}
+	}
+	for i, rr := range e.regions {
+		if rr == r {
+			e.regions[i] = nil
+		}
+	}
+}
+
+func (e *Engine) recentlyCompleted(addr uint32) bool {
+	for _, a := range e.completed {
+		if a != 0 && a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// activateRegions pops start points into free region slots.
+func (e *Engine) activateRegions() {
+	for i := range e.regions {
+		if e.regions[i] != nil {
+			continue
+		}
+		var sp StartPoint
+		ok := false
+		for len(e.stack) > 0 {
+			sp = e.stack[len(e.stack)-1].StartPoint
+			e.stack = e.stack[:len(e.stack)-1]
+			if e.recentlyCompleted(sp.Addr) {
+				e.stats.CompletedSkips++
+				continue
+			}
+			if e.alreadyActive(sp.Addr) {
+				e.stats.CompletedSkips++
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return
+		}
+		e.regionSeq++
+		r := &region{
+			seq:       e.regionSeq,
+			start:     sp,
+			seen:      make(map[uint32]bool),
+			lines:     make(map[uint32]bool),
+			active:    true,
+			prewalked: sp.Kind == ReturnPoint,
+		}
+		if sp.Kind == ReturnPoint {
+			r.worklist = append(r.worklist, sp.Addr)
+			r.seen[sp.Addr] = true
+		}
+		e.regions[i] = r
+		e.stats.RegionsActivated++
+	}
+}
+
+func (e *Engine) alreadyActive(addr uint32) bool {
+	for _, r := range e.regions {
+		if r != nil && r.active && r.start.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchLine brings a line into a region's prefetch cache through the
+// shared instruction cache port. It returns false when the line is not
+// (yet) available: either the port's per-cycle budget is spent (the
+// constructor stalls and retries next unit) or the prefetch cache is
+// full (which terminates the region).
+func (e *Engine) fetchLine(r *region, line uint32) bool {
+	if r.lines[line] {
+		return true
+	}
+	if len(r.lines) >= r.lineCap(e.cfg) {
+		e.completeRegion(r, &e.stats.RegionsExhausted)
+		return false
+	}
+	if e.fetchBudget <= 0 {
+		return false
+	}
+	e.fetchBudget--
+	r.lines[line] = true
+	e.stats.LinesFetched++
+	if !e.ic.Access(line) {
+		e.stats.ICacheMisses++
+	}
+	return true
+}
+
+// deliver disposes of a completed trace: drop if already cached, else
+// buffer it. A buffer rejection terminates the region (§3.1). It also
+// queues the trace's successor as a new start point (§2.1).
+func (e *Engine) deliver(r *region, tr *trace.Trace) {
+	e.stats.TracesBuilt++
+	r.built++
+	if e.traceHook != nil {
+		e.traceHook(tr, r.start)
+	}
+	id := tr.ID()
+	if e.tc.Contains(id) || e.buf.Contains(id) {
+		e.stats.TracesDuplicate++
+	} else if !e.buf.Insert(tr, r.seq) {
+		e.completeRegion(r, &e.stats.RegionsBounded)
+		return
+	}
+	if tr.Succ != 0 && !r.seen[tr.Succ] && len(r.worklist) < e.cfg.WorklistCap {
+		r.worklist = append(r.worklist, tr.Succ)
+		r.seen[tr.Succ] = true
+	}
+	if r.built >= e.cfg.MaxTracesPerRegion {
+		e.completeRegion(r, nil)
+	}
+}
+
+// bestWorklist returns the active region with the highest priority
+// (most recent seq) that has pending work for an idle constructor.
+func (e *Engine) bestWorklist() *region {
+	var best *region
+	for _, r := range e.regions {
+		if r == nil || !r.active {
+			continue
+		}
+		if len(r.worklist) == 0 && r.prewalked {
+			continue
+		}
+		if best == nil || r.seq > best.seq {
+			best = r
+		}
+	}
+	return best
+}
+
+// Step runs the engine for the given number of idle slow-path work
+// units. Each unit lets every idle constructor claim work and every busy
+// constructor advance up to StepInstrs instructions; line fetches happen
+// on demand through the shared port as constructors encounter them.
+func (e *Engine) Step(units int) {
+	for u := 0; u < units; u++ {
+		e.stats.WorkUnits++
+		e.fetchBudget = 1
+		e.activateRegions()
+		for _, c := range e.ctors {
+			if c.reg == nil {
+				r := e.bestWorklist()
+				if r == nil {
+					continue
+				}
+				if !r.prewalked {
+					c.beginPreWalk(r)
+				} else {
+					start := r.worklist[0]
+					r.worklist = r.worklist[1:]
+					c.beginStart(r, start)
+				}
+			}
+			c.advance(e.cfg.StepInstrs)
+		}
+		e.retireQuiescent()
+	}
+}
+
+// retireQuiescent completes regions whose work is done: boundary located,
+// worklist drained, and no constructor still walking.
+func (e *Engine) retireQuiescent() {
+	for _, r := range e.regions {
+		if r == nil || !r.active || !r.prewalked || len(r.worklist) > 0 {
+			continue
+		}
+		busy := false
+		for _, c := range e.ctors {
+			if c.reg == r {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			e.completeRegion(r, nil)
+		}
+	}
+}
+
+// Idle reports whether the engine has no active regions, no stacked
+// start points, and no busy constructors (for tests and draining).
+func (e *Engine) Idle() bool {
+	if len(e.stack) > 0 {
+		return false
+	}
+	for _, r := range e.regions {
+		if r != nil && r.active {
+			return false
+		}
+	}
+	for _, c := range e.ctors {
+		if c.reg != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ActiveRegions returns descriptions of active regions (for the anatomy
+// example and tests).
+func (e *Engine) ActiveRegions() []StartPoint {
+	var out []StartPoint
+	for _, r := range e.regions {
+		if r != nil && r.active {
+			out = append(out, r.start)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package program
+
+import (
+	"sort"
+
+	"tracepre/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line run of instructions: control can
+// only enter at Start and only leave at the last instruction.
+type BasicBlock struct {
+	Start uint32 // address of first instruction
+	End   uint32 // address one past the last instruction
+	// Succs are the statically-known successor block start addresses.
+	// Indirect jumps and returns contribute no static successors.
+	Succs []uint32
+}
+
+// NumInstrs returns the instruction count of the block.
+func (bb BasicBlock) NumInstrs() int { return int(bb.End-bb.Start) / isa.WordSize }
+
+// CFG is the static control-flow graph of an image.
+type CFG struct {
+	Blocks []BasicBlock // ordered by Start address
+	index  map[uint32]int
+}
+
+// BlockAt returns the basic block starting at addr.
+func (g *CFG) BlockAt(addr uint32) (BasicBlock, bool) {
+	i, ok := g.index[addr]
+	if !ok {
+		return BasicBlock{}, false
+	}
+	return g.Blocks[i], true
+}
+
+// BlockContaining returns the block whose range covers pc.
+func (g *CFG) BlockContaining(pc uint32) (BasicBlock, bool) {
+	i := sort.Search(len(g.Blocks), func(k int) bool { return g.Blocks[k].End > pc })
+	if i < len(g.Blocks) && g.Blocks[i].Start <= pc {
+		return g.Blocks[i], true
+	}
+	return BasicBlock{}, false
+}
+
+// BuildCFG computes basic blocks and static successor edges for the image.
+// Call/return edges are treated like ordinary control transfers: a JAL's
+// successors are its target and nothing else (the return edge is dynamic).
+func BuildCFG(im *Image) *CFG {
+	// Pass 1: find leaders.
+	leaders := map[uint32]bool{im.Base: true, im.Entry: true}
+	for pc := im.Base; pc < im.End(); pc += isa.WordSize {
+		in, _ := im.At(pc)
+		switch in.Classify() {
+		case isa.ClassBranch:
+			leaders[in.BranchTarget(pc)] = true
+			leaders[pc+isa.WordSize] = true
+		case isa.ClassJump, isa.ClassCall:
+			leaders[in.Target] = true
+			leaders[pc+isa.WordSize] = true
+		case isa.ClassJumpInd, isa.ClassReturn, isa.ClassHalt:
+			leaders[pc+isa.WordSize] = true
+		}
+	}
+	starts := make([]uint32, 0, len(leaders))
+	for a := range leaders {
+		if a >= im.Base && a < im.End() {
+			starts = append(starts, a)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	// Pass 2: slice into blocks and wire successors.
+	g := &CFG{index: make(map[uint32]int, len(starts))}
+	for k, s := range starts {
+		end := im.End()
+		if k+1 < len(starts) {
+			end = starts[k+1]
+		}
+		bb := BasicBlock{Start: s, End: end}
+		last := end - isa.WordSize
+		in, _ := im.At(last)
+		switch in.Classify() {
+		case isa.ClassBranch:
+			bb.Succs = append(bb.Succs, in.BranchTarget(last))
+			if end < im.End() {
+				bb.Succs = append(bb.Succs, end)
+			}
+		case isa.ClassJump, isa.ClassCall:
+			bb.Succs = append(bb.Succs, in.Target)
+		case isa.ClassJumpInd, isa.ClassReturn, isa.ClassHalt:
+			// no static successors
+		default:
+			if end < im.End() {
+				bb.Succs = append(bb.Succs, end)
+			}
+		}
+		g.index[s] = len(g.Blocks)
+		g.Blocks = append(g.Blocks, bb)
+	}
+	return g
+}
+
+// Stats summarizes the static structure of an image.
+type Stats struct {
+	Instrs       int
+	Blocks       int
+	AvgBlockSize float64
+	CondBranches int
+	BackBranches int
+	Calls        int
+	Returns      int
+	IndJumps     int
+}
+
+// ComputeStats tallies static code structure.
+func ComputeStats(im *Image) Stats {
+	var s Stats
+	s.Instrs = im.NumInstrs()
+	for pc := im.Base; pc < im.End(); pc += isa.WordSize {
+		in, _ := im.At(pc)
+		switch in.Classify() {
+		case isa.ClassBranch:
+			s.CondBranches++
+			if in.IsBackwardBranch() {
+				s.BackBranches++
+			}
+		case isa.ClassCall:
+			s.Calls++
+		case isa.ClassReturn:
+			s.Returns++
+		case isa.ClassJumpInd:
+			s.IndJumps++
+			if in.Op == isa.OpJalr {
+				s.Calls++
+			}
+		}
+	}
+	g := BuildCFG(im)
+	s.Blocks = len(g.Blocks)
+	if s.Blocks > 0 {
+		s.AvgBlockSize = float64(s.Instrs) / float64(s.Blocks)
+	}
+	return s
+}

@@ -1,0 +1,294 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"tracepre/internal/isa"
+)
+
+// buildLoop assembles a small program: a counted loop around a call.
+//
+//	entry:  addi r1, r0, 3
+//	loop:   jal  sub
+//	        addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        halt
+//	sub:    addi r2, r2, 1
+//	        ret
+func buildLoop(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder(0x1000)
+	b.Label("entry")
+	b.ALUI(isa.OpAddI, 1, 0, 3)
+	b.Label("loop")
+	b.Call("sub")
+	b.ALUI(isa.OpAddI, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	b.Label("sub")
+	b.ALUI(isa.OpAddI, 2, 2, 1)
+	b.Ret()
+	im, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return im
+}
+
+func TestBuilderBasics(t *testing.T) {
+	im := buildLoop(t)
+	if im.Base != 0x1000 {
+		t.Errorf("Base = 0x%x", im.Base)
+	}
+	if im.NumInstrs() != 7 {
+		t.Fatalf("NumInstrs = %d, want 7", im.NumInstrs())
+	}
+	if im.Entry != 0x1000 {
+		t.Errorf("Entry = 0x%x, want 0x1000", im.Entry)
+	}
+	if a, ok := im.Lookup("sub"); !ok || a != 0x1000+5*4 {
+		t.Errorf("Lookup(sub) = 0x%x,%v", a, ok)
+	}
+	// The call must have been fixed up to the sub label.
+	in, ok := im.At(0x1004)
+	if !ok || in.Op != isa.OpJal {
+		t.Fatalf("At(0x1004) = %v,%v", in, ok)
+	}
+	if in.Target != 0x1000+5*4 {
+		t.Errorf("call target = 0x%x", in.Target)
+	}
+	// The branch must point backwards at the loop label.
+	br, _ := im.At(0x100c)
+	if br.Op != isa.OpBne || !br.IsBackwardBranch() {
+		t.Errorf("branch = %v", br)
+	}
+	if br.BranchTarget(0x100c) != 0x1004 {
+		t.Errorf("branch target = 0x%x", br.BranchTarget(0x100c))
+	}
+}
+
+func TestImageBounds(t *testing.T) {
+	im := buildLoop(t)
+	if im.Contains(im.Base - 4) {
+		t.Error("Contains below base")
+	}
+	if im.Contains(im.End()) {
+		t.Error("Contains end")
+	}
+	if im.Contains(im.Base + 2) {
+		t.Error("Contains misaligned")
+	}
+	if _, ok := im.At(im.End()); ok {
+		t.Error("At past end succeeded")
+	}
+	if w, ok := im.WordAt(im.Base); !ok || w != isa.MustEncode(isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 3}) {
+		t.Errorf("WordAt(base) = 0x%x,%v", w, ok)
+	}
+	if _, ok := im.WordAt(im.Base + 1); ok {
+		t.Error("WordAt misaligned succeeded")
+	}
+}
+
+func TestBuilderEntry(t *testing.T) {
+	b := NewBuilder(0)
+	b.Nop()
+	b.Label("start")
+	b.Halt()
+	b.SetEntry("start")
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != 4 {
+		t.Errorf("Entry = %d, want 4", im.Entry)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder(0)
+		b.Jmp("nowhere")
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for undefined label")
+		}
+	})
+	t.Run("undefined entry", func(t *testing.T) {
+		b := NewBuilder(0)
+		b.Halt()
+		b.SetEntry("nowhere")
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for undefined entry")
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder(0)
+		b.Label("x")
+		b.Nop()
+		b.Label("x")
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for duplicate label")
+		}
+	})
+	t.Run("branch out of range", func(t *testing.T) {
+		b := NewBuilder(0)
+		b.Label("far")
+		for i := 0; i < 10000; i++ {
+			b.Nop()
+		}
+		b.Branch(isa.OpBeq, 0, 0, "far")
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for branch out of range")
+		}
+	})
+}
+
+func TestLoadAddrAndConst(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.LoadAddr(5, "tbl")
+	b.LoadConst(6, 0xDEADBEEF)
+	b.Halt()
+	b.Label("tbl")
+	b.Nop()
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui, _ := im.At(0x2000)
+	ori, _ := im.At(0x2004)
+	addr := uint32(lui.Imm)<<16 | uint32(ori.Imm)
+	want, _ := im.Lookup("tbl")
+	if addr != want {
+		t.Errorf("LoadAddr materialized 0x%x, want 0x%x", addr, want)
+	}
+	lui2, _ := im.At(0x2008)
+	ori2, _ := im.At(0x200c)
+	if got := uint32(lui2.Imm)<<16 | uint32(ori2.Imm); got != 0xDEADBEEF {
+		t.Errorf("LoadConst materialized 0x%x", got)
+	}
+}
+
+func TestSetData(t *testing.T) {
+	b := NewBuilder(0)
+	b.Halt()
+	b.SetData(0x10000, []uint32{1, 2, 3})
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.DataBase != 0x10000 || len(im.Data) != 3 || im.Data[2] != 3 {
+		t.Errorf("data = base 0x%x %v", im.DataBase, im.Data)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	im := buildLoop(t)
+	text := im.Disassemble(im.Base, 3)
+	if !strings.Contains(text, "addi r1, r0, 3") || !strings.Contains(text, "jal") {
+		t.Errorf("Disassemble output unexpected:\n%s", text)
+	}
+	if im.Disassemble(im.End(), 5) != "" {
+		t.Error("Disassemble past end returned text")
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	im := buildLoop(t)
+	syms := im.SortedSymbols()
+	if len(syms) != 3 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	// entry and loop share ordering by address; entry(0x1000) < loop(0x1004) < sub.
+	if syms[0] != "entry" || syms[1] != "loop" || syms[2] != "sub" {
+		t.Errorf("sorted symbols = %v", syms)
+	}
+}
+
+func TestBuildCFG(t *testing.T) {
+	im := buildLoop(t)
+	g := BuildCFG(im)
+	// Expected leaders: 0x1000 (entry), 0x1004 (loop, branch target & after-call),
+	// 0x1008 (after call), 0x1010 (after branch), 0x1014 (sub), and the block
+	// after halt boundary handling.
+	if len(g.Blocks) < 4 {
+		t.Fatalf("blocks = %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	first, ok := g.BlockAt(0x1000)
+	if !ok || first.NumInstrs() != 1 {
+		t.Errorf("entry block = %+v, ok=%v", first, ok)
+	}
+	// Block starting at the loop label ends at the call and its successor is sub.
+	loop, ok := g.BlockAt(0x1004)
+	if !ok {
+		t.Fatal("no block at loop label")
+	}
+	sub, _ := im.Lookup("sub")
+	if len(loop.Succs) != 1 || loop.Succs[0] != sub {
+		t.Errorf("loop block succs = %v, want [0x%x]", loop.Succs, sub)
+	}
+	// Branch block has two successors: loop target and fall-through.
+	brBlock, ok := g.BlockContaining(0x100c)
+	if !ok {
+		t.Fatal("no block containing branch")
+	}
+	if len(brBlock.Succs) != 2 {
+		t.Errorf("branch block succs = %v", brBlock.Succs)
+	}
+	// Return block has no static successors.
+	retBlock, ok := g.BlockContaining(sub + 4)
+	if !ok {
+		t.Fatal("no block containing ret")
+	}
+	if len(retBlock.Succs) != 0 {
+		t.Errorf("return block succs = %v", retBlock.Succs)
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	im := buildLoop(t)
+	g := BuildCFG(im)
+	if _, ok := g.BlockContaining(0x0); ok {
+		t.Error("BlockContaining below image succeeded")
+	}
+	bb, ok := g.BlockContaining(0x1008)
+	if !ok || bb.Start > 0x1008 || bb.End <= 0x1008 {
+		t.Errorf("BlockContaining(0x1008) = %+v,%v", bb, ok)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	im := buildLoop(t)
+	s := ComputeStats(im)
+	if s.Instrs != 7 {
+		t.Errorf("Instrs = %d", s.Instrs)
+	}
+	if s.CondBranches != 1 || s.BackBranches != 1 {
+		t.Errorf("branches = %d/%d", s.CondBranches, s.BackBranches)
+	}
+	if s.Calls != 1 || s.Returns != 1 {
+		t.Errorf("calls/returns = %d/%d", s.Calls, s.Returns)
+	}
+	if s.IndJumps != 0 {
+		t.Errorf("indirect jumps = %d", s.IndJumps)
+	}
+	if s.AvgBlockSize <= 0 {
+		t.Errorf("AvgBlockSize = %f", s.AvgBlockSize)
+	}
+}
+
+func TestReindex(t *testing.T) {
+	im := buildLoop(t)
+	im.Code[0] = isa.MustEncode(isa.Inst{Op: isa.OpNop})
+	if err := im.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := im.At(im.Base)
+	if in.Op != isa.OpNop {
+		t.Errorf("after Reindex At(base) = %v", in)
+	}
+	im.Code[0] = 0xFFFFFFFF
+	if err := im.Reindex(); err == nil {
+		t.Error("Reindex with invalid word should fail")
+	}
+}

@@ -1,0 +1,158 @@
+// Package stats provides metric helpers and plain-text table rendering
+// for the experiment harness, matching the units the paper reports
+// (misses per 1000 instructions, percent speedup).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PerKI converts a count into events per 1000 instructions.
+func PerKI(events, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(events) * 1000 / float64(instructions)
+}
+
+// Speedup returns the percent speedup of a run taking newCycles over one
+// taking baseCycles for the same work.
+func Speedup(baseCycles, newCycles uint64) float64 {
+	if newCycles == 0 {
+		return 0
+	}
+	return (float64(baseCycles)/float64(newCycles) - 1) * 100
+}
+
+// Reduction returns the percent reduction from base to new.
+func Reduction(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - new) / base * 100
+}
+
+// Bar renders a proportional ASCII bar of the given width.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// sparkRunes are the eighth-block characters used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a compact unicode sparkline scaled to
+// the series' own maximum.
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	max := series[0]
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Table renders aligned plain-text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	for i, h := range t.Headers {
+		if len(h) > width[i] {
+			width[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

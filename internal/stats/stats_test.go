@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPerKI(t *testing.T) {
+	if got := PerKI(5, 1000); got != 5 {
+		t.Errorf("PerKI = %f", got)
+	}
+	if got := PerKI(3, 2000); got != 1.5 {
+		t.Errorf("PerKI = %f", got)
+	}
+	if got := PerKI(3, 0); got != 0 {
+		t.Errorf("PerKI(_, 0) = %f", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(110, 100); got < 9.99 || got > 10.01 {
+		t.Errorf("Speedup = %f", got)
+	}
+	if got := Speedup(100, 100); got != 0 {
+		t.Errorf("Speedup equal = %f", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup div0 = %f", got)
+	}
+	if got := Speedup(90, 100); got >= 0 {
+		t.Errorf("slowdown not negative: %f", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(10, 7); got != 30 {
+		t.Errorf("Reduction = %f", got)
+	}
+	if got := Reduction(0, 7); got != 0 {
+		t.Errorf("Reduction base0 = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("a-much-longer-name", 22)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: the header and data lines have "value" text
+	// starting at the same offset.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1.50")
+	if hdrIdx != rowIdx {
+		t.Errorf("misaligned columns: %d vs %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("rule rendered without headers:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("row missing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z") // extra cell beyond headers
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("Bar not clamped")
+	}
+	if Bar(0, 10, 10) != "" || Bar(5, 0, 10) != "" || Bar(5, 10, 0) != "" {
+		t.Error("degenerate Bar not empty")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline ends = %q", s)
+	}
+	// All-zero series renders the minimum glyph.
+	z := []rune(Sparkline([]float64{0, 0}))
+	if z[0] != '▁' || z[1] != '▁' {
+		t.Errorf("zero sparkline = %q", string(z))
+	}
+}

@@ -1,0 +1,270 @@
+// Package tpred implements the path-based next-trace predictor of
+// Jacobson, Rotenberg and Smith (MICRO-30, 1997), which the trace
+// processor frontend uses in place of a conventional branch predictor:
+// traces are the unit of prediction, and the predictor maps a hashed
+// history of recent trace IDs to the ID of the trace expected next.
+//
+// The configuration modeled here is the enhanced hybrid of §6 of the
+// preconstruction paper: a tagged primary (correlating) table indexed by
+// the full path history, a tagless secondary table indexed by the most
+// recent trace only (which warms up quickly and catches cold starts and
+// aliasing losses), and a return history stack (RHS) that saves path
+// history across calls so post-return predictions correlate with
+// pre-call history.
+package tpred
+
+import (
+	"fmt"
+
+	"tracepre/internal/trace"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	PrimaryEntries   int // tagged path table (power of two)
+	SecondaryEntries int // last-trace table (power of two)
+	HistoryTraces    int // trace IDs folded into the path history (>=1)
+	RHSDepth         int // return history stack depth
+
+	// DisableSecondary removes the hybrid's last-trace fallback table
+	// (ablation: cold starts and aliasing go unserved).
+	DisableSecondary bool
+	// DisableRHS removes the return history stack (ablation: path
+	// history is clobbered across calls).
+	DisableRHS bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		PrimaryEntries:   1 << 15,
+		SecondaryEntries: 1 << 13,
+		HistoryTraces:    4,
+		RHSDepth:         16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PrimaryEntries <= 0 || c.PrimaryEntries&(c.PrimaryEntries-1) != 0 {
+		return fmt.Errorf("tpred: primary entries %d not a power of two", c.PrimaryEntries)
+	}
+	if c.SecondaryEntries <= 0 || c.SecondaryEntries&(c.SecondaryEntries-1) != 0 {
+		return fmt.Errorf("tpred: secondary entries %d not a power of two", c.SecondaryEntries)
+	}
+	if c.HistoryTraces < 1 || c.HistoryTraces > 8 {
+		return fmt.Errorf("tpred: history length %d out of range", c.HistoryTraces)
+	}
+	if c.RHSDepth <= 0 {
+		return fmt.Errorf("tpred: RHS depth %d", c.RHSDepth)
+	}
+	return nil
+}
+
+type entry struct {
+	tag   uint16
+	id    trace.ID
+	conf  uint8 // 2-bit confidence
+	valid bool
+}
+
+// Stats counts predictor behaviour.
+type Stats struct {
+	Predictions uint64
+	Correct     uint64
+	FromPrimary uint64 // predictions served by the path table
+	NoPredict   uint64 // cycles with nothing to offer
+}
+
+// Accuracy returns Correct/Predictions (0 when idle).
+func (s Stats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predictions)
+}
+
+// Predictor is the hybrid path-based next-trace predictor.
+type Predictor struct {
+	cfg       Config
+	primary   []entry
+	secondary []entry
+	hist      uint64
+	histBits  uint // shift per trace id
+	rhs       []uint64
+	rhsTop    int
+	rhsSize   int
+	lastID    trace.ID
+	haveLast  bool
+	stats     Stats
+
+	// State captured at Predict time so Update trains the entries the
+	// prediction actually came from.
+	pIdx, sIdx int
+	pTag       uint16
+	predicted  trace.ID
+	havePred   bool
+}
+
+// New builds a predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		cfg:       cfg,
+		primary:   make([]entry, cfg.PrimaryEntries),
+		secondary: make([]entry, cfg.SecondaryEntries),
+		histBits:  uint(64 / cfg.HistoryTraces),
+		rhs:       make([]uint64, cfg.RHSDepth),
+	}, nil
+}
+
+// MustNew builds a predictor, panicking on config error.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func fold(h uint64) uint32 {
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 29
+	return uint32(h)
+}
+
+func (p *Predictor) indices() (pIdx int, pTag uint16, sIdx int) {
+	f := fold(p.hist)
+	pIdx = int(f) & (p.cfg.PrimaryEntries - 1)
+	pTag = uint16(f >> 16)
+	sIdx = int(p.lastID.Hash()) & (p.cfg.SecondaryEntries - 1)
+	return
+}
+
+// Predict returns the predicted next trace ID. ok is false when neither
+// table has anything useful (cold start), in which case the frontend
+// falls back to the slow path immediately.
+func (p *Predictor) Predict() (id trace.ID, ok bool) {
+	p.pIdx, p.pTag, p.sIdx = p.indices()
+	p.stats.Predictions++
+	if e := &p.primary[p.pIdx]; e.valid && e.tag == p.pTag {
+		p.stats.FromPrimary++
+		p.predicted, p.havePred = e.id, true
+		return e.id, true
+	}
+	if p.haveLast && !p.cfg.DisableSecondary {
+		if e := &p.secondary[p.sIdx]; e.valid {
+			p.predicted, p.havePred = e.id, true
+			return e.id, true
+		}
+	}
+	p.stats.NoPredict++
+	p.havePred = false
+	return trace.ID{}, false
+}
+
+// Update trains the predictor with the actual next trace and advances
+// the path history. The actual trace's control character drives the
+// return history stack: traces containing calls push a history snapshot,
+// traces ending in returns restore one.
+func (p *Predictor) Update(actual *trace.Trace) {
+	id := actual.ID()
+	if p.havePred && p.predicted == id {
+		p.stats.Correct++
+	}
+
+	// Train the primary (tagged) table at the indices used to predict.
+	e := &p.primary[p.pIdx]
+	switch {
+	case e.valid && e.tag == p.pTag && e.id == id:
+		if e.conf < 3 {
+			e.conf++
+		}
+	case e.valid && e.tag == p.pTag:
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.id = id
+			e.conf = 1
+		}
+	default:
+		// Tag miss: allocate.
+		*e = entry{tag: p.pTag, id: id, conf: 1, valid: true}
+	}
+
+	// Train the secondary (last-trace) table.
+	if p.haveLast {
+		se := &p.secondary[p.sIdx]
+		switch {
+		case se.valid && se.id == id:
+			if se.conf < 3 {
+				se.conf++
+			}
+		case se.valid:
+			if se.conf > 0 {
+				se.conf--
+			} else {
+				se.id = id
+				se.conf = 1
+			}
+		default:
+			*se = entry{id: id, conf: 1, valid: true}
+		}
+	}
+
+	// Advance path history with the actual trace.
+	p.hist = p.hist<<p.histBits ^ uint64(id.Hash())
+	p.lastID = id
+	p.haveLast = true
+
+	// Return history stack: push after calls, restore at returns.
+	if actual.ContainsCall() && !p.cfg.DisableRHS {
+		p.rhsPush(p.hist)
+	}
+	if actual.EndsInReturn && !p.cfg.DisableRHS {
+		if h, ok := p.rhsPop(); ok {
+			// Restore the pre-call history, then fold in the
+			// returning trace so the post-return path is distinct.
+			p.hist = h<<p.histBits ^ uint64(id.Hash())
+		}
+	}
+	p.havePred = false
+}
+
+func (p *Predictor) rhsPush(h uint64) {
+	p.rhs[p.rhsTop] = h
+	p.rhsTop = (p.rhsTop + 1) % len(p.rhs)
+	if p.rhsSize < len(p.rhs) {
+		p.rhsSize++
+	}
+}
+
+func (p *Predictor) rhsPop() (uint64, bool) {
+	if p.rhsSize == 0 {
+		return 0, false
+	}
+	p.rhsTop = (p.rhsTop - 1 + len(p.rhs)) % len(p.rhs)
+	p.rhsSize--
+	return p.rhs[p.rhsTop], true
+}
+
+// Stats returns a copy of the counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// Reset clears tables, history and statistics.
+func (p *Predictor) Reset() {
+	for i := range p.primary {
+		p.primary[i] = entry{}
+	}
+	for i := range p.secondary {
+		p.secondary[i] = entry{}
+	}
+	p.hist = 0
+	p.rhsTop, p.rhsSize = 0, 0
+	p.lastID = trace.ID{}
+	p.haveLast, p.havePred = false, false
+	p.stats = Stats{}
+}

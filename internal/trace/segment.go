@@ -1,0 +1,41 @@
+package trace
+
+import "tracepre/internal/emulator"
+
+// Segmenter slices the committed dynamic instruction stream into the
+// exact sequence of traces the trace processor consumes. It is the
+// fill-unit's view of trace selection: feeding the same stream always
+// produces the same trace boundaries, which is what lets preconstructed
+// traces align with demanded ones.
+type Segmenter struct {
+	b *Builder
+}
+
+// NewSegmenter returns a Segmenter using the given selection rules.
+func NewSegmenter(cfg SelectConfig) *Segmenter {
+	return &Segmenter{b: NewBuilder(cfg, false)}
+}
+
+// Push appends one committed instruction. When the instruction completes
+// a trace, the finished trace is returned (with Succ set to the next
+// committed PC); otherwise Push returns nil.
+func (s *Segmenter) Push(d emulator.Dyn) *Trace {
+	if s.b.Append(d.PC, d.Inst, d.Taken) {
+		t := s.b.Finish(d.NextPC)
+		s.b.Reset(false)
+		return t
+	}
+	return nil
+}
+
+// Pending returns the number of instructions buffered in the unfinished
+// trace.
+func (s *Segmenter) Pending() int { return s.b.Len() }
+
+// Flush seals and returns any partial trace (nil if none), e.g. at the
+// end of a run. succ is unknown and left zero.
+func (s *Segmenter) Flush() *Trace {
+	t := s.b.Finish(0)
+	s.b.Reset(false)
+	return t
+}

@@ -1,0 +1,244 @@
+// Package trace defines traces — snapshots of short segments of the
+// dynamic instruction stream — and the trace selection rules that decide
+// where traces begin and end.
+//
+// Trace selection is the heart of the alignment problem (§2.2 of the
+// paper): a preconstructed trace is only useful if it starts exactly
+// where a trace the processor needs starts. Both the fill unit (which
+// builds traces from the committed stream) and the preconstruction
+// engine (which builds traces from a static walk) therefore use the
+// same Builder with the same termination rules:
+//
+//   - a trace never exceeds MaxLen instructions;
+//   - a trace ends at a return instruction (so traces following returns
+//     start at the return target and align naturally);
+//   - a trace ends at an indirect jump (the preconstructor cannot
+//     resolve the target, and ending there keeps selection identical);
+//   - if the trace contains a backward branch, it ends when the number
+//     of instructions past the most recent backward branch is a positive
+//     multiple of AlignMod (the paper's "multiple of four instructions
+//     beyond a backward branch" heuristic, which quantizes loop-exit
+//     boundaries so preconstructed traces can align with them).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tracepre/internal/isa"
+)
+
+// ID uniquely identifies a trace: its starting address plus the outcomes
+// of the conditional branches inside it. Because trace termination is a
+// deterministic function of the path, (start, branch count, outcome bits)
+// pins down the exact instruction sequence.
+type ID struct {
+	Start uint32 // address of the first instruction
+	NumBr uint8  // number of conditional branches in the trace
+	Mask  uint16 // branch outcomes, bit i = i-th branch taken
+}
+
+// Zero reports whether the ID is the zero value (no trace).
+func (id ID) Zero() bool { return id == ID{} }
+
+// Hash mixes the ID into a 32-bit value used to index trace storage and
+// the next-trace predictor.
+func (id ID) Hash() uint32 {
+	// Pack the fields injectively into 64 bits, then mix (splitmix64
+	// finalizer) so every output bit depends on every field.
+	h := uint64(id.Start/isa.WordSize) | uint64(id.Mask)<<30 | uint64(id.NumBr)<<46
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return uint32(h)
+}
+
+// String renders the ID compactly for logs and tests.
+func (id ID) String() string {
+	return fmt.Sprintf("T[0x%x/%d:%0*b]", id.Start, id.NumBr, id.NumBr, id.Mask)
+}
+
+// Trace is a constructed trace: the instruction sequence, its identity,
+// and bookkeeping the timing model and preconstructor need.
+type Trace struct {
+	PCs   []uint32   // per-instruction addresses
+	Insts []isa.Inst // decoded instructions, same order
+
+	BrMask uint16 // conditional branch outcomes in order
+	NumBr  uint8
+
+	EndsInReturn   bool
+	EndsInIndirect bool
+	EndsInHalt     bool
+
+	// Succ is the address of the instruction that follows the trace:
+	// the natural start of the next trace. Zero when unknown (a trace
+	// ending at an unresolved indirect jump during preconstruction).
+	Succ uint32
+
+	// Opt carries fill-unit preprocessing metadata when the extended
+	// pipeline's preprocessing stage is enabled (see internal/preproc).
+	// It is opaque to this package.
+	Opt interface{}
+}
+
+// ID returns the trace's identity.
+func (t *Trace) ID() ID {
+	if len(t.PCs) == 0 {
+		return ID{}
+	}
+	return ID{Start: t.PCs[0], NumBr: t.NumBr, Mask: t.BrMask}
+}
+
+// Len returns the instruction count.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// String renders the trace as start address, length and branch mask.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v len=%d succ=0x%x", t.ID(), t.Len(), t.Succ)
+	return b.String()
+}
+
+// SelectConfig parameterizes trace selection. The defaults mirror §4.1.
+type SelectConfig struct {
+	MaxLen   int // maximum instructions per trace (paper: 16)
+	AlignMod int // quantum past a backward branch (paper: 4)
+}
+
+// DefaultSelectConfig returns the paper's trace selection parameters.
+func DefaultSelectConfig() SelectConfig {
+	return SelectConfig{MaxLen: 16, AlignMod: 4}
+}
+
+// Validate checks the configuration.
+func (c SelectConfig) Validate() error {
+	if c.MaxLen <= 0 || c.MaxLen > 16 {
+		return fmt.Errorf("trace: MaxLen %d out of range (1..16)", c.MaxLen)
+	}
+	if c.AlignMod <= 0 {
+		return fmt.Errorf("trace: AlignMod %d must be positive", c.AlignMod)
+	}
+	return nil
+}
+
+// Builder accumulates instructions into a trace, applying the selection
+// rules identically for the fill unit and the preconstructor.
+//
+// Anchored mode treats the trace start as if a backward branch
+// immediately preceded it. The preconstructor uses this for regions
+// rooted at loop exits: the region start point is the backward branch's
+// fall-through, so counting from the region start reproduces the
+// machine's count past the branch, and the trace boundaries coincide.
+type Builder struct {
+	cfg      SelectConfig
+	t        Trace
+	sinceBwd int // instructions appended since last backward branch; -1 = none seen
+}
+
+// NewBuilder returns a Builder for one trace. If anchored, the
+// alignment counter is active from the first instruction.
+func NewBuilder(cfg SelectConfig, anchored bool) *Builder {
+	b := &Builder{cfg: cfg, sinceBwd: -1}
+	if anchored {
+		b.sinceBwd = 0
+	}
+	b.t.PCs = make([]uint32, 0, cfg.MaxLen)
+	b.t.Insts = make([]isa.Inst, 0, cfg.MaxLen)
+	return b
+}
+
+// Reset clears the builder for a new trace with the same configuration.
+func (b *Builder) Reset(anchored bool) {
+	b.t = Trace{
+		PCs:   b.t.PCs[:0],
+		Insts: b.t.Insts[:0],
+	}
+	b.sinceBwd = -1
+	if anchored {
+		b.sinceBwd = 0
+	}
+}
+
+// Len returns the number of instructions appended so far.
+func (b *Builder) Len() int { return len(b.t.Insts) }
+
+// Append adds one instruction with its resolved (or predicted) branch
+// direction and reports whether the trace is now complete. Appending to
+// a complete trace is a caller bug and panics.
+func (b *Builder) Append(pc uint32, in isa.Inst, taken bool) (done bool) {
+	if len(b.t.Insts) >= b.cfg.MaxLen {
+		panic("trace: Append past MaxLen")
+	}
+	b.t.PCs = append(b.t.PCs, pc)
+	b.t.Insts = append(b.t.Insts, in)
+	if b.sinceBwd >= 0 {
+		b.sinceBwd++
+	}
+
+	switch in.Classify() {
+	case isa.ClassBranch:
+		if taken {
+			b.t.BrMask |= 1 << b.t.NumBr
+		}
+		b.t.NumBr++
+		if in.IsBackwardBranch() {
+			b.sinceBwd = 0
+		}
+	case isa.ClassReturn:
+		b.t.EndsInReturn = true
+		return true
+	case isa.ClassJumpInd:
+		b.t.EndsInIndirect = true
+		return true
+	case isa.ClassHalt:
+		b.t.EndsInHalt = true
+		return true
+	}
+	if len(b.t.Insts) == b.cfg.MaxLen {
+		return true
+	}
+	if b.sinceBwd > 0 && b.sinceBwd%b.cfg.AlignMod == 0 {
+		return true
+	}
+	// Traces that have used all 16 branch-mask bits must end: the ID
+	// could not distinguish further outcomes.
+	if b.t.NumBr == 16 {
+		return true
+	}
+	return false
+}
+
+// Finish seals the trace and returns it. succ is the address of the
+// instruction that follows the trace (0 if unknown). Finish may be
+// called on a partial trace (e.g. when the preconstructor abandons a
+// region); an empty trace returns nil.
+func (b *Builder) Finish(succ uint32) *Trace {
+	if len(b.t.Insts) == 0 {
+		return nil
+	}
+	t := Trace{
+		PCs:            append([]uint32(nil), b.t.PCs...),
+		Insts:          append([]isa.Inst(nil), b.t.Insts...),
+		BrMask:         b.t.BrMask,
+		NumBr:          b.t.NumBr,
+		EndsInReturn:   b.t.EndsInReturn,
+		EndsInIndirect: b.t.EndsInIndirect,
+		EndsInHalt:     b.t.EndsInHalt,
+		Succ:           succ,
+	}
+	return &t
+}
+
+// ContainsCall reports whether any instruction in the trace is a call;
+// the next-trace predictor's return history stack keys off this.
+func (t *Trace) ContainsCall() bool {
+	for _, in := range t.Insts {
+		if in.IsCall() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+// Package tracecache implements the two trace stores of the paper's
+// frontend: the primary trace cache (2-way set associative, LRU) and the
+// preconstruction buffers (same geometry, but with the region-priority
+// replacement policy of §3.1). Both are indexed by hashing a trace's
+// starting address with its branch outcomes.
+package tracecache
+
+import (
+	"fmt"
+
+	"tracepre/internal/trace"
+)
+
+// Config sizes a trace store.
+type Config struct {
+	Entries int // total traces held (paper: 64..1024 TC, 32..256 buffers)
+	Assoc   int // ways per set (paper: 2)
+
+	// PlainLRU applies only to preconstruction Buffers: it replaces the
+	// paper's region-priority replacement with ordinary LRU (an
+	// ablation of §3.1's policy). Ignored by the primary trace cache.
+	PlainLRU bool
+}
+
+// Validate checks the geometry: positive power-of-two set count.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("tracecache: nonpositive config %+v", c)
+	}
+	sets := c.Entries / c.Assoc
+	if sets == 0 || sets*c.Assoc != c.Entries {
+		return fmt.Errorf("tracecache: %d entries not divisible into %d ways", c.Entries, c.Assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tracecache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	id    trace.ID
+	tr    *trace.Trace
+	valid bool
+	lru   uint64
+	// region is the preconstruction region sequence number that built
+	// the trace; unused (zero) in the primary trace cache.
+	region uint64
+}
+
+// Stats counts trace-store activity.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+	Inserts uint64
+	// Rejected counts inserts refused by the replacement policy
+	// (preconstruction buffers only: region-priority protection).
+	Rejected uint64
+}
+
+// TraceCache is the primary trace cache.
+type TraceCache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint32
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a trace cache.
+func New(cfg Config) (*TraceCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceCache{
+		cfg:     cfg,
+		sets:    makeSets(cfg),
+		setMask: uint32(cfg.Entries/cfg.Assoc - 1),
+	}, nil
+}
+
+// MustNew builds a trace cache, panicking on config error.
+func MustNew(cfg Config) *TraceCache {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func makeSets(cfg Config) [][]line {
+	numSets := cfg.Entries / cfg.Assoc
+	backing := make([]line, cfg.Entries)
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return sets
+}
+
+func (tc *TraceCache) set(id trace.ID) []line {
+	return tc.sets[id.Hash()&tc.setMask]
+}
+
+// Config returns the geometry.
+func (tc *TraceCache) Config() Config { return tc.cfg }
+
+// Lookup searches for the trace with the given ID, updating LRU state and
+// statistics.
+func (tc *TraceCache) Lookup(id trace.ID) (*trace.Trace, bool) {
+	tc.stats.Lookups++
+	tc.clock++
+	s := tc.set(id)
+	for i := range s {
+		if s[i].valid && s[i].id == id {
+			s[i].lru = tc.clock
+			tc.stats.Hits++
+			return s[i].tr, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports residency without perturbing LRU or statistics. The
+// preconstruction engine uses this to avoid buffering traces already in
+// the trace cache.
+func (tc *TraceCache) Contains(id trace.ID) bool {
+	for _, l := range tc.set(id) {
+		if l.valid && l.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek returns the resident trace without perturbing LRU state or
+// statistics (used to replay wrong-path dispatch to the
+// preconstruction engine).
+func (tc *TraceCache) Peek(id trace.ID) (*trace.Trace, bool) {
+	for _, l := range tc.set(id) {
+		if l.valid && l.id == id {
+			return l.tr, true
+		}
+	}
+	return nil, false
+}
+
+// Insert places a trace, evicting the LRU way if the set is full. If the
+// trace is already present its LRU stamp is refreshed instead.
+func (tc *TraceCache) Insert(tr *trace.Trace) {
+	id := tr.ID()
+	tc.clock++
+	tc.stats.Inserts++
+	s := tc.set(id)
+	victim := 0
+	for i := range s {
+		if s[i].valid && s[i].id == id {
+			s[i].tr = tr
+			s[i].lru = tc.clock
+			return
+		}
+		if !s[i].valid {
+			victim = i
+		} else if s[victim].valid && s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	s[victim] = line{id: id, tr: tr, valid: true, lru: tc.clock}
+}
+
+// Stats returns a copy of the counters.
+func (tc *TraceCache) Stats() Stats { return tc.stats }
+
+// ResetStats clears counters, keeping contents.
+func (tc *TraceCache) ResetStats() { tc.stats = Stats{} }
+
+// Buffers is the preconstruction buffer array: same lookup geometry as
+// the trace cache, but replacement is governed by region priority
+// (§3.1): newer regions may displace older ones, never the reverse, and
+// a trace never displaces a trace from its own region. A buffered trace
+// is consumed (invalidated) when the processor uses it.
+type Buffers struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint32
+	clock   uint64
+	stats   Stats
+	// Promotions counts buffer hits that moved a trace into the trace
+	// cache (all hits do; kept separate for reporting clarity).
+	promotions uint64
+}
+
+// NewBuffers builds the preconstruction buffer array.
+func NewBuffers(cfg Config) (*Buffers, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Buffers{
+		cfg:     cfg,
+		sets:    makeSets(cfg),
+		setMask: uint32(cfg.Entries/cfg.Assoc - 1),
+	}, nil
+}
+
+// MustNewBuffers builds buffers, panicking on config error.
+func MustNewBuffers(cfg Config) *Buffers {
+	b, err := NewBuffers(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *Buffers) set(id trace.ID) []line {
+	return b.sets[id.Hash()&b.setMask]
+}
+
+// Config returns the geometry.
+func (b *Buffers) Config() Config { return b.cfg }
+
+// Take searches for the trace; on a hit the buffer entry is invalidated
+// (the caller copies the trace into the trace cache, per §3.1: "after a
+// trace is copied from a preconstruction buffer to the trace cache, the
+// buffer is invalidated").
+func (b *Buffers) Take(id trace.ID) (*trace.Trace, bool) {
+	b.stats.Lookups++
+	s := b.set(id)
+	for i := range s {
+		if s[i].valid && s[i].id == id {
+			b.stats.Hits++
+			b.promotions++
+			tr := s[i].tr
+			s[i].valid = false
+			return tr, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports residency without consuming the entry.
+func (b *Buffers) Contains(id trace.ID) bool {
+	for _, l := range b.set(id) {
+		if l.valid && l.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places a preconstructed trace tagged with its region sequence
+// number (monotonically increasing; larger = more recent = higher
+// priority). It returns false when the replacement policy refuses the
+// insert: every candidate victim belongs to the same or a more recent
+// region. This refusal is what bounds preconstruction effort per region.
+func (b *Buffers) Insert(tr *trace.Trace, region uint64) bool {
+	id := tr.ID()
+	b.clock++
+	s := b.set(id)
+	// Already present (from any region): refresh, don't duplicate.
+	for i := range s {
+		if s[i].valid && s[i].id == id {
+			s[i].tr = tr
+			s[i].region = region
+			s[i].lru = b.clock
+			b.stats.Inserts++
+			return true
+		}
+	}
+	victim := -1
+	for i := range s {
+		if !s[i].valid {
+			victim = i
+			break
+		}
+		if b.cfg.PlainLRU {
+			if victim == -1 || s[i].lru < s[victim].lru {
+				victim = i
+			}
+			continue
+		}
+		if s[i].region < region {
+			// Oldest region loses first; ties broken by LRU.
+			if victim == -1 || s[i].region < s[victim].region ||
+				(s[i].region == s[victim].region && s[i].lru < s[victim].lru) {
+				victim = i
+			}
+		}
+	}
+	if victim == -1 {
+		b.stats.Rejected++
+		return false
+	}
+	s[victim] = line{id: id, tr: tr, valid: true, lru: b.clock, region: region}
+	b.stats.Inserts++
+	return true
+}
+
+// Stats returns a copy of the counters.
+func (b *Buffers) Stats() Stats { return b.stats }
+
+// Promotions returns the number of traces consumed into the trace cache.
+func (b *Buffers) Promotions() uint64 { return b.promotions }
+
+// ResetStats clears counters, keeping contents.
+func (b *Buffers) ResetStats() {
+	b.stats = Stats{}
+	b.promotions = 0
+}
+
+// Occupancy returns the number of valid entries (for tests and reports).
+func (b *Buffers) Occupancy() int {
+	n := 0
+	for _, s := range b.sets {
+		for _, l := range s {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

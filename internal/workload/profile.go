@@ -1,0 +1,216 @@
+// Package workload generates the synthetic benchmark programs used in
+// place of the SPECint95 binaries the paper evaluates. The generator
+// emits structured programs — a DAG call graph of functions built from
+// straight-line blocks, biased and unbiased if/else constructs, counted
+// loops, jump-table switches, and procedure calls with callee-saved
+// register discipline — whose outcomes are driven by an in-program
+// linear congruential generator, so dynamic behaviour is deterministic
+// per seed yet data-dependent from the predictors' point of view.
+//
+// Eight profiles are named after the SPECint95 benchmarks and calibrated
+// on the axes that matter to the paper's results: static instruction
+// footprint (gcc, go, vortex large; compress, ijpeg tiny), branch bias
+// mix (vortex highly biased, go weakly biased), call density, loop
+// structure, and phase behaviour (working-set turnover, which creates
+// the compulsory misses preconstruction targets).
+package workload
+
+import "fmt"
+
+// Profile parameterizes the synthetic program generator.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Static structure.
+	NumFuncs    int // functions besides main
+	FuncInstrsT int // target static instructions per function (approx)
+	BlockMin    int // straight-line block size range
+	BlockMax    int
+
+	// Segment mix (relative weights; need not sum to 1).
+	WBlock   float64
+	WIf      float64
+	WLoop    float64
+	WCall    float64
+	WSwitch  float64
+	WCallInd float64 // indirect calls through function-pointer tables
+
+	// IndCallWays is the number of candidate targets per indirect call
+	// site (power of two; ignored when WCallInd is 0).
+	IndCallWays int
+
+	// Branch behaviour.
+	StrongBiasFrac float64   // fraction of if/else sites with p≈0.97 or 0.03
+	WeakBiases     []float64 // taken-probabilities for the remaining sites
+
+	// Loops.
+	TripMin, TripMax int // compile-time trip count range
+	LoopNestMax      int
+
+	// Switches.
+	SwitchWays int
+
+	// Call graph.
+	CalleeWindow   int     // function i may call (i, i+CalleeWindow]
+	MaxExpCost     float64 // expected dynamic instructions per function call
+	SharedFrac     float64 // trailing fraction of functions callable from all phases
+	CallsPerDriver int     // top-level entry calls per driver iteration
+
+	// Phase behaviour: the driver cycles through Phases disjoint
+	// function ranges, staying PhaseLen iterations in each.
+	Phases   int
+	PhaseLen int
+}
+
+// Validate checks profile consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty profile name")
+	}
+	if p.NumFuncs < 1 {
+		return fmt.Errorf("workload %s: NumFuncs %d", p.Name, p.NumFuncs)
+	}
+	if p.BlockMin < 1 || p.BlockMax < p.BlockMin {
+		return fmt.Errorf("workload %s: block range %d..%d", p.Name, p.BlockMin, p.BlockMax)
+	}
+	if p.TripMin < 1 || p.TripMax < p.TripMin {
+		return fmt.Errorf("workload %s: trip range %d..%d", p.Name, p.TripMin, p.TripMax)
+	}
+	if p.Phases < 1 || p.PhaseLen < 1 {
+		return fmt.Errorf("workload %s: phases %d x %d", p.Name, p.Phases, p.PhaseLen)
+	}
+	if p.SwitchWays < 2 || p.SwitchWays&(p.SwitchWays-1) != 0 {
+		return fmt.Errorf("workload %s: SwitchWays %d not a power of two >= 2", p.Name, p.SwitchWays)
+	}
+	if p.WCallInd > 0 && (p.IndCallWays < 2 || p.IndCallWays&(p.IndCallWays-1) != 0) {
+		return fmt.Errorf("workload %s: IndCallWays %d not a power of two >= 2", p.Name, p.IndCallWays)
+	}
+	if p.CalleeWindow < 1 {
+		return fmt.Errorf("workload %s: CalleeWindow %d", p.Name, p.CalleeWindow)
+	}
+	if len(p.WeakBiases) == 0 {
+		return fmt.Errorf("workload %s: no weak biases", p.Name)
+	}
+	if p.LoopNestMax < 0 {
+		return fmt.Errorf("workload %s: LoopNestMax %d", p.Name, p.LoopNestMax)
+	}
+	if p.MaxExpCost <= 0 {
+		return fmt.Errorf("workload %s: MaxExpCost %f", p.Name, p.MaxExpCost)
+	}
+	if p.CallsPerDriver < 1 {
+		return fmt.Errorf("workload %s: CallsPerDriver %d", p.Name, p.CallsPerDriver)
+	}
+	return nil
+}
+
+// SPECint95 returns the eight benchmark profiles in the paper's order of
+// presentation. The calibration targets come from the paper's
+// characterization: gcc and go have the largest instruction working sets
+// and stress the trace cache most; vortex strains it almost as much but
+// with highly biased branches (preconstruction works extremely well
+// there); li, m88ksim and perl are mid-sized call-heavy codes; compress
+// and ijpeg have such small working sets that even tiny trace caches do
+// well.
+func SPECint95() []Profile {
+	return []Profile{
+		{
+			Name: "gcc", Seed: 10001,
+			NumFuncs: 400, FuncInstrsT: 130, BlockMin: 3, BlockMax: 9,
+			WBlock: 0.28, WIf: 0.30, WLoop: 0.10, WCall: 0.20, WSwitch: 0.06,
+			WCallInd: 0.06, IndCallWays: 8,
+			StrongBiasFrac: 0.62, WeakBiases: []float64{0.5, 0.35, 0.65, 0.25},
+			TripMin: 2, TripMax: 6, LoopNestMax: 2, SwitchWays: 8,
+			CalleeWindow: 12, MaxExpCost: 6000, SharedFrac: 0.10, CallsPerDriver: 5,
+			Phases: 4, PhaseLen: 6,
+		},
+		{
+			Name: "go", Seed: 10002,
+			NumFuncs: 340, FuncInstrsT: 130, BlockMin: 3, BlockMax: 8,
+			WBlock: 0.24, WIf: 0.38, WLoop: 0.10, WCall: 0.19, WSwitch: 0.04,
+			WCallInd: 0.05, IndCallWays: 8,
+			StrongBiasFrac: 0.40, WeakBiases: []float64{0.5, 0.4, 0.6, 0.45, 0.55},
+			TripMin: 2, TripMax: 5, LoopNestMax: 2, SwitchWays: 8,
+			CalleeWindow: 11, MaxExpCost: 6000, SharedFrac: 0.08, CallsPerDriver: 5,
+			Phases: 3, PhaseLen: 7,
+		},
+		{
+			Name: "compress", Seed: 10003,
+			NumFuncs: 8, FuncInstrsT: 70, BlockMin: 4, BlockMax: 10,
+			WBlock: 0.40, WIf: 0.25, WLoop: 0.25, WCall: 0.10, WSwitch: 0.0,
+			StrongBiasFrac: 0.70, WeakBiases: []float64{0.5, 0.3},
+			TripMin: 20, TripMax: 80, LoopNestMax: 2, SwitchWays: 4,
+			CalleeWindow: 3, MaxExpCost: 20000, SharedFrac: 0.0, CallsPerDriver: 2,
+			Phases: 1, PhaseLen: 1,
+		},
+		{
+			Name: "ijpeg", Seed: 10004,
+			NumFuncs: 20, FuncInstrsT: 110, BlockMin: 5, BlockMax: 12,
+			WBlock: 0.38, WIf: 0.20, WLoop: 0.30, WCall: 0.12, WSwitch: 0.0,
+			StrongBiasFrac: 0.80, WeakBiases: []float64{0.5, 0.7},
+			TripMin: 8, TripMax: 64, LoopNestMax: 3, SwitchWays: 4,
+			CalleeWindow: 4, MaxExpCost: 30000, SharedFrac: 0.0, CallsPerDriver: 2,
+			Phases: 1, PhaseLen: 1,
+		},
+		{
+			Name: "li", Seed: 10005,
+			NumFuncs: 80, FuncInstrsT: 85, BlockMin: 2, BlockMax: 7,
+			WBlock: 0.25, WIf: 0.28, WLoop: 0.08, WCall: 0.28, WSwitch: 0.06,
+			WCallInd: 0.05, IndCallWays: 4,
+			StrongBiasFrac: 0.55, WeakBiases: []float64{0.5, 0.35, 0.65},
+			TripMin: 2, TripMax: 5, LoopNestMax: 1, SwitchWays: 8,
+			CalleeWindow: 7, MaxExpCost: 5000, SharedFrac: 0.15, CallsPerDriver: 4,
+			Phases: 2, PhaseLen: 12,
+		},
+		{
+			Name: "m88ksim", Seed: 10006,
+			NumFuncs: 90, FuncInstrsT: 95, BlockMin: 3, BlockMax: 8,
+			WBlock: 0.29, WIf: 0.26, WLoop: 0.10, WCall: 0.24, WSwitch: 0.08,
+			WCallInd: 0.03, IndCallWays: 4,
+			StrongBiasFrac: 0.65, WeakBiases: []float64{0.5, 0.3, 0.7},
+			TripMin: 2, TripMax: 6, LoopNestMax: 2, SwitchWays: 16,
+			CalleeWindow: 7, MaxExpCost: 6000, SharedFrac: 0.12, CallsPerDriver: 4,
+			Phases: 2, PhaseLen: 10,
+		},
+		{
+			Name: "perl", Seed: 10007,
+			NumFuncs: 150, FuncInstrsT: 100, BlockMin: 3, BlockMax: 8,
+			WBlock: 0.27, WIf: 0.28, WLoop: 0.09, WCall: 0.24, WSwitch: 0.08,
+			WCallInd: 0.04, IndCallWays: 4,
+			StrongBiasFrac: 0.58, WeakBiases: []float64{0.5, 0.35, 0.65},
+			TripMin: 2, TripMax: 6, LoopNestMax: 2, SwitchWays: 16,
+			CalleeWindow: 9, MaxExpCost: 6000, SharedFrac: 0.12, CallsPerDriver: 4,
+			Phases: 3, PhaseLen: 8,
+		},
+		{
+			Name: "vortex", Seed: 10008,
+			NumFuncs: 380, FuncInstrsT: 115, BlockMin: 3, BlockMax: 9,
+			WBlock: 0.29, WIf: 0.26, WLoop: 0.08, WCall: 0.28, WSwitch: 0.04,
+			WCallInd: 0.05, IndCallWays: 8,
+			StrongBiasFrac: 0.88, WeakBiases: []float64{0.6, 0.7},
+			TripMin: 2, TripMax: 5, LoopNestMax: 1, SwitchWays: 8,
+			CalleeWindow: 12, MaxExpCost: 6000, SharedFrac: 0.10, CallsPerDriver: 5,
+			Phases: 4, PhaseLen: 6,
+		},
+	}
+}
+
+// ByName returns the named SPECint95 profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range SPECint95() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names lists the profile names in presentation order.
+func Names() []string {
+	ps := SPECint95()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
