@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet test race bench experiments fuzz ci clean
 
 all: build vet test
+
+# What CI runs (.github/workflows/ci.yml): the tier-1 gate plus a
+# race-detector pass over the short suite.
+ci: build vet test
+	$(GO) test -race -short ./...
 
 build:
 	$(GO) build ./...

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tracepre/internal/core"
+	"tracepre/internal/emulator"
 )
 
 // benchBudget keeps testing.B iterations affordable while still
@@ -121,6 +122,112 @@ func BenchmarkExtensions(b *testing.B) {
 		if _, err := core.PredictorAblations(benchBudget, []string{"perl"}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Stream-layer throughput: functional emulation versus recording versus
+// allocation-free replay of the same committed instruction stream.
+// bytes/s here means committed instructions per second.
+func BenchmarkStreamEmulate(b *testing.B) {
+	im, err := core.Image("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchBudget))
+	for i := 0; i < b.N; i++ {
+		if _, err := emulator.New(im).Run(benchBudget, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamRecord(b *testing.B) {
+	im, err := core.Image("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchBudget))
+	for i := 0; i < b.N; i++ {
+		st, err := emulator.Record(im, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.BytesPerInstr(), "B/instr")
+		}
+	}
+}
+
+func BenchmarkStreamReplay(b *testing.B) {
+	im, err := core.Image("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := emulator.Record(im, benchBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchBudget))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp := st.Replay()
+		for {
+			if _, ok := rp.Next(); !ok {
+				break
+			}
+		}
+		if err := rp.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Mode measures the end-to-end Figure 5 sweep with
+// record-once/replay-many on versus off — the headline wall-clock win
+// of the stream layer (BENCH_replay.json records the ratio).
+func BenchmarkFigure5Mode(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"replay", true}, {"direct", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			was := core.SetReplay(mode.on)
+			defer core.SetReplay(was)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Figure5(benchBudget, []string{"gcc", "go"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepTCBaseline is an end-to-end trace-cache sizing sweep —
+// the PB=0 curve of Figure 5 — with record-once/replay-many on versus
+// off. The stream cache is reset each iteration so the replay side pays
+// its one recording per benchmark; every sweep point after that replays.
+// This isolates the stream layer's win from the preconstruction engine,
+// whose per-config work no amount of replay can share.
+func BenchmarkSweepTCBaseline(b *testing.B) {
+	benches := []string{"gcc", "go"}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"replay", true}, {"direct", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			was := core.SetReplay(mode.on)
+			defer core.SetReplay(was)
+			for i := 0; i < b.N; i++ {
+				core.ResetStreamCache()
+				for _, bench := range benches {
+					for _, tc := range core.Figure5TCSizes {
+						if _, err := core.RunBenchmark(bench, core.BaselineConfig(tc), benchBudget); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tracepre/internal/core"
@@ -22,11 +24,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig5, tables123, fig6, fig8, ext-*, ablation-*, all)")
-		n      = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
-		bench  = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		asJSON = flag.Bool("json", false, "emit structured JSON instead of tables")
+		exp        = flag.String("exp", "all", "experiment id (fig5, tables123, fig6, fig8, ext-*, ablation-*, all)")
+		n          = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
+		bench      = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		asJSON     = flag.Bool("json", false, "emit structured JSON instead of tables")
+		replay     = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,6 +42,8 @@ func main() {
 		return
 	}
 
+	core.SetReplay(*replay)
+
 	var benches []string
 	if *bench != "" {
 		benches = strings.Split(*bench, ",")
@@ -45,6 +52,31 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize final heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	if *asJSON {

@@ -25,9 +25,11 @@ func main() {
 		timing   = flag.Bool("timing", false, "enable the full backend timing model")
 		preproc  = flag.Bool("preproc", false, "enable fill-unit preprocessing (implies -timing)")
 		timeline = flag.Uint64("timeline", 0, "print a miss-rate sparkline, one point per this many instructions")
+		replay   = flag.Bool("replay", true, "drive the simulator from a recorded stream (shared across invocations in one process)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+	core.SetReplay(*replay)
 
 	if *list {
 		for _, b := range core.Benchmarks() {

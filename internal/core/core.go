@@ -135,20 +135,25 @@ func runAll(n int, job func(i int) error) error {
 }
 
 // RunBenchmark simulates a benchmark under the configuration for the
-// given committed-instruction budget.
+// given committed-instruction budget. When replay is enabled (the
+// default, see SetReplay), the benchmark's dynamic stream is recorded
+// once into the shared stream cache and this and every later run of the
+// same (benchmark, budget) replays it instead of re-emulating.
 func RunBenchmark(name string, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
 	im, err := Image(name)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	sim, err := pipeline.New(im, cfg)
+	res, err := runKeyed(im, streamKey{name: name, budget: budget}, cfg, budget)
 	if err != nil {
 		return pipeline.Result{}, fmt.Errorf("core: %s: %w", name, err)
 	}
-	return sim.Run(budget)
+	return res, nil
 }
 
-// RunImage simulates an arbitrary image (for custom workloads).
+// RunImage simulates an arbitrary image (for custom workloads). Ad-hoc
+// images have no cache identity, so RunImage always emulates directly;
+// use RunBenchmark (or MultiSeed's keyed path) to share streams.
 func RunImage(im *program.Image, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
 	sim, err := pipeline.New(im, cfg)
 	if err != nil {

@@ -36,6 +36,9 @@ type Fig5Result struct {
 // function of combined trace cache + preconstruction buffer size, one
 // curve per buffer size, for each benchmark.
 func Figure5(budget uint64, benches []string) (*Fig5Result, error) {
+	if err := warmStreams(budget, benches); err != nil {
+		return nil, err
+	}
 	out := &Fig5Result{Budget: budget}
 	for _, b := range benches {
 		for _, pb := range Figure5PBSizes {
@@ -114,6 +117,9 @@ type SupplyResult struct {
 // Tables123 reproduces Tables 1, 2 and 3: instruction cache supply and
 // miss behaviour with and without preconstruction for gcc and go.
 func Tables123(budget uint64, benches []string) (*SupplyResult, error) {
+	if err := warmStreams(budget, benches); err != nil {
+		return nil, err
+	}
 	out := &SupplyResult{Budget: budget, Rows: make([]SupplyRow, len(benches))}
 	err := runAll(len(benches), func(i int) error {
 		b := benches[i]
@@ -181,6 +187,9 @@ type Fig6Result struct {
 // preconstruction under the full timing model (paper: 3-10% for gcc,
 // go, perl and vortex).
 func Figure6(budget uint64, benches []string) (*Fig6Result, error) {
+	if err := warmStreams(budget, benches); err != nil {
+		return nil, err
+	}
 	out := &Fig6Result{Budget: budget}
 	for _, b := range benches {
 		for _, tc := range []int{256, 512} {
@@ -243,6 +252,9 @@ type Fig8Result struct {
 // reports 2-8% (a), 8-12% (b), and 12-20% (c), with (c) exceeding the
 // sum of (a) and (b).
 func Figure8(budget uint64, benches []string) (*Fig8Result, error) {
+	if err := warmStreams(budget, benches); err != nil {
+		return nil, err
+	}
 	out := &Fig8Result{Budget: budget, Rows: make([]Fig8Row, len(benches))}
 	err := runAll(len(benches), func(i int) error {
 		b := benches[i]

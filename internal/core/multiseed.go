@@ -46,20 +46,25 @@ func MultiSeed(budget uint64, benches []string, seeds int) (*MultiSeedResult, er
 	reductions := make([]float64, len(jobs))
 	err := runAll(len(jobs), func(i int) error {
 		j := jobs[i]
-		p, err := workload.ByName(benches[j.bench])
+		name := benches[j.bench]
+		p, err := workload.ByName(name)
 		if err != nil {
 			return err
 		}
-		p.Seed += int64(j.seed * 7919) // distinct program instances
+		seedDelta := int64(j.seed * 7919) // distinct program instances
+		p.Seed += seedDelta
 		im, err := workload.Generate(p)
 		if err != nil {
 			return err
 		}
-		base, err := RunImage(im, BaselineConfig(512), budget)
+		// One recording per (benchmark, seed) serves both machine
+		// configurations via the keyed stream cache.
+		key := streamKey{name: name, seed: seedDelta, budget: budget}
+		base, err := runKeyed(im, key, BaselineConfig(512), budget)
 		if err != nil {
 			return err
 		}
-		pre, err := RunImage(im, PreconConfig(256, 256), budget)
+		pre, err := runKeyed(im, key, PreconConfig(256, 256), budget)
 		if err != nil {
 			return err
 		}

@@ -64,6 +64,9 @@ func sensitivityVariants() []struct {
 // Sensitivity measures the headline iso-area comparison under each
 // model-parameter variant.
 func Sensitivity(budget uint64, benches []string) (*SensitivityResult, error) {
+	if err := warmStreams(budget, benches); err != nil {
+		return nil, err
+	}
 	variants := sensitivityVariants()
 	out := &SensitivityResult{Budget: budget}
 	for _, v := range variants {

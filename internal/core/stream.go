@@ -1,0 +1,195 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"tracepre/internal/emulator"
+	"tracepre/internal/pipeline"
+	"tracepre/internal/program"
+)
+
+// replayEnabled gates record-once/replay-many execution. When on (the
+// default), RunBenchmark and the experiment sweeps record each
+// (benchmark, seed, budget) dynamic stream once and replay it to every
+// simulator configuration; when off, every run re-executes the
+// functional emulator directly. Both paths produce bit-identical
+// Results (asserted by TestReplayEquivalence).
+var replayEnabled atomic.Bool
+
+func init() { replayEnabled.Store(true) }
+
+// SetReplay switches record-once/replay-many execution on or off
+// (cmd flags plumb -replay here). It returns the previous setting.
+func SetReplay(on bool) bool { return replayEnabled.Swap(on) }
+
+// ReplayOn reports whether replay-based execution is enabled.
+func ReplayOn() bool { return replayEnabled.Load() }
+
+// DefaultStreamCacheCap bounds the stream cache's encoded bytes. At
+// well under 2 bytes per instruction even a 20M-instruction run stays
+// in the tens of megabytes, so the default fits every bundled sweep
+// while capping worst-case memory.
+const DefaultStreamCacheCap int64 = 512 << 20
+
+// streamKey identifies one recorded dynamic stream: generation is
+// deterministic, so bench/seed/budget pins down the exact stream.
+type streamKey struct {
+	name   string
+	seed   int64 // generator seed perturbation (0 = profile default)
+	budget uint64
+}
+
+// streamEntry is one cache slot. once guards the recording so
+// concurrent sweep workers demanding the same stream block on a single
+// recorder instead of re-emulating in parallel.
+type streamEntry struct {
+	key   streamKey
+	once  sync.Once
+	s     *emulator.Stream
+	err   error
+	bytes int64
+	elem  *list.Element // position in the LRU list; nil until recorded
+}
+
+// streamCache is a byte-capped LRU of recorded streams, the stream
+// analogue of the images memo.
+type streamCache struct {
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	entries map[streamKey]*streamEntry
+	lru     *list.List // front = most recently used
+}
+
+func newStreamCache(capBytes int64) *streamCache {
+	return &streamCache{
+		cap:     capBytes,
+		entries: map[streamKey]*streamEntry{},
+		lru:     list.New(),
+	}
+}
+
+// streams is the process-wide stream cache.
+var streams = newStreamCache(DefaultStreamCacheCap)
+
+// SetStreamCacheCap sets the stream cache's byte budget and evicts
+// least-recently-used streams until under it. The cap bounds cached
+// encodings only; streams handed out earlier remain valid (they are
+// immutable), they just stop being shared.
+func SetStreamCacheCap(bytes int64) {
+	streams.mu.Lock()
+	defer streams.mu.Unlock()
+	streams.cap = bytes
+	streams.evictLocked()
+}
+
+// StreamCacheStats reports the cached stream count and encoded bytes.
+func StreamCacheStats() (entries int, bytes int64) {
+	streams.mu.Lock()
+	defer streams.mu.Unlock()
+	return streams.lru.Len(), streams.bytes
+}
+
+// ResetStreamCache drops every cached stream (tests and long-lived
+// servers switching workloads).
+func ResetStreamCache() {
+	streams.mu.Lock()
+	defer streams.mu.Unlock()
+	streams.entries = map[streamKey]*streamEntry{}
+	streams.lru.Init()
+	streams.bytes = 0
+}
+
+// evictLocked pops LRU entries until the cache fits its cap, always
+// keeping the most recent entry so a single oversized stream does not
+// thrash.
+func (c *streamCache) evictLocked() {
+	for c.bytes > c.cap && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*streamEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+	}
+}
+
+// get returns the recorded stream for key, recording it on first use.
+// Concurrent demands for the same key share one recording.
+func (c *streamCache) get(key streamKey, im *program.Image) (*emulator.Stream, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &streamEntry{key: key}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.s, e.err = emulator.Record(im, key.budget)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if e.err != nil {
+			delete(c.entries, key)
+			return
+		}
+		e.bytes = int64(e.s.Bytes())
+		c.bytes += e.bytes
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	c.mu.Lock()
+	if e.elem != nil && c.entries[key] == e {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+	return e.s, nil
+}
+
+// runKeyed builds a simulator for the image and drives it from the
+// shared stream cache when replay is enabled, or a live emulator when
+// it is not.
+func runKeyed(im *program.Image, key streamKey, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
+	sim, err := pipeline.New(im, cfg)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	if ReplayOn() {
+		st, err := streams.get(key, im)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		return sim.RunStream(st, budget)
+	}
+	return sim.Run(budget)
+}
+
+// warmStreams records each benchmark's stream up front, in parallel,
+// so a sweep's fan-out replays from the start instead of serializing
+// behind the first worker to demand each stream. A no-op when replay
+// is disabled.
+func warmStreams(budget uint64, benches []string) error {
+	if !ReplayOn() {
+		return nil
+	}
+	uniq := benches[:0:0]
+	seen := map[string]bool{}
+	for _, b := range benches {
+		if !seen[b] {
+			seen[b] = true
+			uniq = append(uniq, b)
+		}
+	}
+	return runAll(len(uniq), func(i int) error {
+		im, err := Image(uniq[i])
+		if err != nil {
+			return err
+		}
+		_, err = streams.get(streamKey{name: uniq[i], budget: budget}, im)
+		return err
+	})
+}

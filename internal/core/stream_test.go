@@ -1,0 +1,116 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tracepre/internal/pipeline"
+)
+
+// TestReplayEquivalence asserts the determinism guarantee behind
+// record-once/replay-many: for every benchmark profile, a simulator
+// driven by a recorded-and-replayed stream produces a Result identical
+// to one driven by direct functional emulation — for both the plain
+// miss-rate machine and the full-timing preconstruction+preprocessing
+// machine.
+func TestReplayEquivalence(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"baseline", BaselineConfig(256)},
+		{"precon+timing", TimingConfig(PreconConfig(128, 128), true)},
+	}
+	for _, bench := range Benchmarks() {
+		for _, c := range configs {
+			t.Run(bench+"/"+c.name, func(t *testing.T) {
+				t.Parallel()
+				im, err := Image(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := RunImage(im, c.cfg, SmallBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replayed, err := runKeyed(im, streamKey{name: bench, budget: SmallBudget}, c.cfg, SmallBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(direct, replayed) {
+					t.Errorf("replayed Result differs from direct emulation:\ndirect %+v\nreplay %+v",
+						direct, replayed)
+				}
+			})
+		}
+	}
+}
+
+// TestRunBenchmarkReplayToggle asserts both execution modes of the
+// public entry point agree.
+func TestRunBenchmarkReplayToggle(t *testing.T) {
+	cfg := PreconConfig(128, 128)
+	was := SetReplay(false)
+	direct, err := RunBenchmark("compress", cfg, SmallBudget)
+	SetReplay(was)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := RunBenchmark("compress", cfg, SmallBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, replayed) {
+		t.Errorf("replay toggle changes results:\ndirect %+v\nreplay %+v", direct, replayed)
+	}
+}
+
+func TestStreamCacheLRU(t *testing.T) {
+	c := newStreamCache(1) // absurdly small: at most one resident stream
+	for _, name := range []string{"compress", "li"} {
+		im, err := Image(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.get(streamKey{name: name, budget: 10_000}, im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.lru.Len(); n != 1 {
+		t.Errorf("cache kept %d streams under a 1-byte cap, want 1 (newest)", n)
+	}
+	// The resident stream must be the most recently recorded one.
+	if e := c.lru.Front().Value.(*streamEntry); e.key.name != "li" {
+		t.Errorf("resident stream is %q, want li", e.key.name)
+	}
+	// Re-demanding the evicted stream re-records it.
+	im, err := Image("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.get(streamKey{name: "compress", budget: 10_000}, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Error("re-recorded stream is empty")
+	}
+}
+
+func TestStreamCacheSharesRecordings(t *testing.T) {
+	ResetStreamCache()
+	defer ResetStreamCache()
+	if _, err := RunBenchmark("li", BaselineConfig(64), 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBenchmark("li", PreconConfig(64, 64), 20_000); err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes := StreamCacheStats()
+	if entries != 1 {
+		t.Errorf("two configs recorded %d streams, want 1 shared", entries)
+	}
+	if bytes <= 0 {
+		t.Errorf("cache reports %d bytes, want > 0", bytes)
+	}
+}

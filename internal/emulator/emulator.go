@@ -80,6 +80,7 @@ type Emulator struct {
 
 	seq    uint64
 	halted bool
+	runErr error // first non-halt error, reported via Err (Source)
 }
 
 // New creates an emulator for the image with the data section loaded,

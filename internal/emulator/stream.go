@@ -1,0 +1,243 @@
+package emulator
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+)
+
+// Source is any producer of the committed dynamic instruction stream.
+// Next returns the next committed instruction, or ok=false when the
+// stream ends (clean halt, exhausted recording, or error). After
+// ok=false, Err reports the first error other than a clean halt.
+//
+// The live Emulator implements Source, as does Replayer; the timing
+// model consumes either interchangeably, which is what lets one
+// functional execution drive arbitrarily many simulator configurations.
+type Source interface {
+	Next() (Dyn, bool)
+	Err() error
+}
+
+// Next implements Source: it commits one instruction, reporting ok=false
+// on halt or error. The error (if any) is available via Err.
+func (e *Emulator) Next() (Dyn, bool) {
+	d, err := e.Step()
+	if err != nil {
+		if err != ErrHalted && e.runErr == nil {
+			e.runErr = err
+		}
+		return Dyn{}, false
+	}
+	return d, true
+}
+
+// Err implements Source: the first error other than a clean halt.
+func (e *Emulator) Err() error { return e.runErr }
+
+// Stream is a compact recording of a committed dynamic instruction
+// stream. Only the truly dynamic bits are stored — conditional branch
+// outcomes (one bit each), indirect jump targets and memory effective
+// addresses (zig-zag varint deltas) — everything else is regenerated
+// from the immutable program image during replay. Typical encodings run
+// well under 2 bytes per instruction, far below the 8-byte budget.
+//
+// A Stream is immutable once sealed and safe to share across goroutines;
+// each concurrent consumer gets its own Replayer.
+type Stream struct {
+	im    *program.Image
+	entry uint32 // PC of the first recorded instruction
+	n     uint64 // instructions recorded
+	taken []byte // conditional branch outcomes, bit-packed in commit order
+	nbits uint64 // bits used in taken
+	aux   []byte // varint deltas: mem addresses and indirect targets, in commit order
+}
+
+// Len returns the number of recorded instructions.
+func (s *Stream) Len() uint64 { return s.n }
+
+// Image returns the program image the stream was recorded from.
+func (s *Stream) Image() *program.Image { return s.im }
+
+// Bytes returns the encoded size of the stream in bytes (excluding the
+// shared program image).
+func (s *Stream) Bytes() int { return len(s.taken) + len(s.aux) + 32 }
+
+// BytesPerInstr returns the amortized encoding cost.
+func (s *Stream) BytesPerInstr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.Bytes()) / float64(s.n)
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Recorder captures a committed instruction stream into a Stream. Feed
+// it every Dyn in commit order via Observe, then call Stream to seal.
+type Recorder struct {
+	s       Stream
+	lastMem uint32
+	started bool
+}
+
+// NewRecorder returns a Recorder for a program image.
+func NewRecorder(im *program.Image) *Recorder {
+	return &Recorder{s: Stream{im: im}}
+}
+
+// Observe appends one committed instruction to the recording. Records
+// must arrive in commit order starting from the first instruction.
+func (r *Recorder) Observe(d Dyn) {
+	if !r.started {
+		r.s.entry = d.PC
+		r.started = true
+	}
+	switch d.Inst.Op {
+	case isa.OpLoad, isa.OpStore:
+		delta := int64(d.MemAddr) - int64(r.lastMem)
+		r.s.aux = binary.AppendUvarint(r.s.aux, zigzag(delta))
+		r.lastMem = d.MemAddr
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if r.s.nbits%8 == 0 {
+			r.s.taken = append(r.s.taken, 0)
+		}
+		if d.Taken {
+			r.s.taken[r.s.nbits/8] |= 1 << (r.s.nbits % 8)
+		}
+		r.s.nbits++
+	case isa.OpJr, isa.OpJalr:
+		delta := int64(d.NextPC) - int64(d.PC+isa.WordSize)
+		r.s.aux = binary.AppendUvarint(r.s.aux, zigzag(delta))
+	}
+	r.s.n++
+}
+
+// Stream seals and returns the recording. The Recorder must not be used
+// afterwards.
+func (r *Recorder) Stream() *Stream {
+	s := r.s
+	return &s
+}
+
+// Record runs a fresh emulator for up to budget committed instructions
+// and returns the sealed recording. The recording ends early on a clean
+// halt; any other emulation error is returned.
+func Record(im *program.Image, budget uint64) (*Stream, error) {
+	e := New(im)
+	r := NewRecorder(im)
+	_, err := e.Run(budget, func(d Dyn) bool {
+		r.Observe(d)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Stream(), nil
+}
+
+// Replayer re-emits a recorded Stream as Dyn records, implementing
+// Source. Replay is allocation-free and bit-identical to the original
+// emulation: instructions are re-decoded from the program image and the
+// recorded dynamic bits fill in branch outcomes, indirect targets and
+// memory addresses.
+type Replayer struct {
+	s       *Stream
+	code    []isa.Inst // the image's decoded instructions (shared, read-only)
+	base    uint32     // image base: code[(pc-base)/WordSize] decodes pc
+	pc      uint32
+	seq     uint64
+	bitPos  uint64
+	auxPos  int
+	lastMem uint32
+	err     error
+}
+
+// Replay returns a fresh Replayer positioned at the start of the
+// stream. Replayers are independent: any number may consume the same
+// Stream concurrently.
+func (s *Stream) Replay() *Replayer {
+	return &Replayer{s: s, pc: s.entry, code: s.im.Insts(), base: s.im.Base}
+}
+
+// readAux decodes the next varint delta from the aux buffer.
+func (r *Replayer) readAux() (int64, bool) {
+	u, k := binary.Uvarint(r.s.aux[r.auxPos:])
+	if k <= 0 {
+		r.err = fmt.Errorf("emulator: corrupt stream aux data at %d", r.auxPos)
+		return 0, false
+	}
+	r.auxPos += k
+	return unzigzag(u), true
+}
+
+// Next implements Source.
+func (r *Replayer) Next() (Dyn, bool) {
+	var d Dyn
+	if !r.NextInto(&d) {
+		return Dyn{}, false
+	}
+	return d, true
+}
+
+// NextInto decodes the next instruction directly into *d, avoiding the
+// value-return copy on the hot path. It reports false at end of stream
+// or on error (*d is then undefined).
+func (r *Replayer) NextInto(d *Dyn) bool {
+	if r.err != nil || r.seq >= r.s.n {
+		return false
+	}
+	idx := (r.pc - r.base) / isa.WordSize
+	if uint64(idx) >= uint64(len(r.code)) || (r.pc-r.base)%isa.WordSize != 0 {
+		r.err = fmt.Errorf("%w: 0x%x (replay)", ErrBadPC, r.pc)
+		return false
+	}
+	in := &r.code[idx]
+	d.Seq = r.seq
+	d.PC = r.pc
+	d.Inst = *in
+	d.Taken = false
+	d.NextPC = 0
+	d.MemAddr = 0
+	next := r.pc + isa.WordSize
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore:
+		delta, ok := r.readAux()
+		if !ok {
+			return false
+		}
+		d.MemAddr = uint32(int64(r.lastMem) + delta)
+		r.lastMem = d.MemAddr
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if r.bitPos >= r.s.nbits {
+			r.err = fmt.Errorf("emulator: corrupt stream: branch bits exhausted at seq %d", r.seq)
+			return false
+		}
+		d.Taken = r.s.taken[r.bitPos/8]&(1<<(r.bitPos%8)) != 0
+		r.bitPos++
+		if d.Taken {
+			next = in.BranchTarget(r.pc)
+		}
+	case isa.OpJmp, isa.OpJal:
+		next = in.Target
+	case isa.OpJr, isa.OpJalr:
+		delta, ok := r.readAux()
+		if !ok {
+			return false
+		}
+		next = uint32(int64(r.pc) + int64(isa.WordSize) + delta)
+	}
+	d.NextPC = next
+	r.pc = next
+	r.seq++
+	return true
+}
+
+// Err implements Source.
+func (r *Replayer) Err() error { return r.err }

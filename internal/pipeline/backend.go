@@ -42,6 +42,44 @@ type backend struct {
 	dcacheMisses uint64
 	loads        uint64
 	arbForwards  uint64
+
+	scr dispatchScratch
+}
+
+// dispatchScratch is per-trace working state, reused across dispatches
+// so the hot path does not allocate. Trace selection caps traces at 16
+// instructions (trace.SelectConfig.Validate), so fixed arrays suffice.
+type dispatchScratch struct {
+	order     [16]int
+	fusedOf   [16]int
+	prevStore [16]int
+	loadFloor [16]uint64
+	doneOf    [16]uint64
+	issuedAt  [16]uint64
+	issued    [16]bool
+	writer    [isa.NumRegs]int8 // reg -> producing slot in this trace, -1 none
+	// Latest in-trace store per word address; with <= 16 entries a
+	// linear scan beats a map.
+	storeAddr [16]uint32
+	storeSlot [16]int
+	storeN    int
+}
+
+// lastStoreTo returns the latest in-trace store slot to a word address.
+func (s *dispatchScratch) lastStoreTo(addr uint32) (int, bool) {
+	for i := s.storeN - 1; i >= 0; i-- {
+		if s.storeAddr[i] == addr {
+			return s.storeSlot[i], true
+		}
+	}
+	return 0, false
+}
+
+// noteStore records a store slot for a word address.
+func (s *dispatchScratch) noteStore(addr uint32, slot int) {
+	s.storeAddr[s.storeN] = addr
+	s.storeSlot[s.storeN] = slot
+	s.storeN++
 }
 
 // arbEntries is the ARB capacity; older stores age out.
@@ -125,8 +163,9 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 	}
 
 	n := tr.Len()
+	scr := &b.scr
 	// Priority order: program order, or the fill unit's schedule.
-	order := make([]int, n)
+	order := scr.order[:n]
 	for i := range order {
 		order[i] = i
 	}
@@ -139,7 +178,7 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 	}
 
 	// fusedOf[i] = consumer fused onto producer i, or -1.
-	fusedOf := make([]int, n)
+	fusedOf := scr.fusedOf[:n]
 	for i := range fusedOf {
 		fusedOf[i] = -1
 	}
@@ -151,10 +190,14 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 		}
 	}
 
-	writer := make(map[uint8]int, 8) // reg -> producing slot in this trace
+	// writer[r] = last slot in this trace writing register r, -1 none.
+	writer := &scr.writer
+	for r := range writer {
+		writer[r] = -1
+	}
 	for i, in := range tr.Insts {
 		if rd, w := in.WritesReg(); w {
-			writer[rd] = i
+			writer[rd] = int8(i)
 		}
 	}
 
@@ -163,14 +206,15 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 	// loadFloor[i] is the completion cycle of the youngest in-flight
 	// store from earlier traces to that word (the ARB state is fixed
 	// for the duration of this trace — stores publish at the end).
-	prevStore := make([]int, n)
-	loadFloor := make([]uint64, n)
-	lastStore := make(map[uint32]int, 4)
+	prevStore := scr.prevStore[:n]
+	loadFloor := scr.loadFloor[:n]
+	scr.storeN = 0
 	for i, in := range tr.Insts {
 		prevStore[i] = -1
+		loadFloor[i] = 0
 		switch in.Op {
 		case isa.OpLoad:
-			if j, ok := lastStore[dyns[i].MemAddr&^3]; ok {
+			if j, ok := scr.lastStoreTo(dyns[i].MemAddr &^ 3); ok {
 				prevStore[i] = j
 				b.arbForwards++
 			} else if ar := b.arbReady(dyns[i].MemAddr); ar > start {
@@ -178,7 +222,7 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 				b.arbForwards++
 			}
 		case isa.OpStore:
-			lastStore[dyns[i].MemAddr&^3] = i
+			scr.noteStore(dyns[i].MemAddr&^3, i)
 		}
 	}
 	// firstWriter resolves whether a read at slot i sees an external
@@ -193,9 +237,14 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 		return p
 	}
 
-	doneOf := make([]uint64, n)
-	issuedAt := make([]uint64, n)
-	issued := make([]bool, n)
+	doneOf := scr.doneOf[:n]
+	issuedAt := scr.issuedAt[:n]
+	issued := scr.issued[:n]
+	for i := 0; i < n; i++ {
+		doneOf[i] = 0
+		issuedAt[i] = 0
+		issued[i] = false
+	}
 	remaining := n
 
 	readyAt := func(i int) (uint64, bool) {
@@ -222,7 +271,8 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 		if opt != nil && opt.FusedWith[i] >= 0 {
 			fusedOnto = int(opt.FusedWith[i])
 		}
-		for _, r := range in.ReadsRegs(nil) {
+		var regScratch [4]uint8
+		for _, r := range in.ReadsRegs(regScratch[:0]) {
 			if r == isa.RegZero {
 				continue
 			}
@@ -295,7 +345,9 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 
 	// Publish register results and store completions for later traces.
 	for r, idx := range writer {
-		b.regReady[r] = regStamp{cycle: doneOf[idx], pe: pe}
+		if idx >= 0 {
+			b.regReady[r] = regStamp{cycle: doneOf[idx], pe: pe}
+		}
 	}
 	for i, in := range tr.Insts {
 		if in.Op == isa.OpStore {

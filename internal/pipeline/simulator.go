@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"tracepre/internal/bpred"
 	"tracepre/internal/cache"
@@ -149,12 +151,29 @@ type Simulator struct {
 	be   *backend
 
 	res Result
+	ran bool // Run/RunSource consumed this simulator
 
 	fetchFree   uint64
 	lastRetire  uint64
 	lastResolve uint64
 
 	window WindowStat // accumulating current window (WindowInstrs > 0)
+}
+
+// ErrRunTwice is returned when Run or RunSource is called on a
+// Simulator that already ran: the predictors, caches and timing state
+// are warm from the first run, so a second pass would silently measure
+// a machine the paper never describes.
+var ErrRunTwice = errors.New("pipeline: Run may be called only once per Simulator")
+
+// dynPool recycles dispatch buffers across runs. Trace selection caps
+// traces at 16 instructions (trace.SelectConfig.Validate), so one pooled
+// capacity fits every configuration.
+var dynPool = sync.Pool{
+	New: func() interface{} {
+		s := make([]emulator.Dyn, 0, 16)
+		return &s
+	},
 }
 
 // New builds a simulator for the image.
@@ -235,25 +254,93 @@ func MustNew(im *program.Image, cfg Config) *Simulator {
 // for diagnostics and the anatomy example.
 func (s *Simulator) PreconEngine() *precon.Engine { return s.eng }
 
-// Run executes up to budget committed instructions and returns the
-// measurements. Run may be called once per Simulator.
+// Run executes up to budget committed instructions on a live emulator
+// and returns the measurements. Run may be called once per Simulator; a
+// second call returns ErrRunTwice.
 func (s *Simulator) Run(budget uint64) (Result, error) {
-	em := emulator.New(s.im)
+	if s.ran {
+		return s.res, ErrRunTwice
+	}
+	return s.runSource(emulator.New(s.im), budget)
+}
+
+// RunSource executes up to budget committed instructions drawn from an
+// arbitrary Source — typically a Replayer over a recorded stream, so
+// one functional execution can drive many simulator configurations.
+// The source must describe the same program image the simulator was
+// built for; like Run, RunSource may be called once per Simulator.
+func (s *Simulator) RunSource(src emulator.Source, budget uint64) (Result, error) {
+	if s.ran {
+		return s.res, ErrRunTwice
+	}
+	return s.runSource(src, budget)
+}
+
+// RunStream drives the simulator from a recorded stream through the
+// fused trace-level decoder (trace.StreamSegmenter), which skips the
+// per-instruction Dyn round trip RunSource pays. Measurements are
+// bit-identical to Run and RunSource on the same stream; like them,
+// RunStream may be called once per Simulator.
+func (s *Simulator) RunStream(st *emulator.Stream, budget uint64) (Result, error) {
+	if s.ran {
+		return s.res, ErrRunTwice
+	}
+	s.ran = true
+	ss := trace.NewStreamSegmenter(st, s.cfg.Select)
+	var n uint64
+	for n < budget {
+		tr, dyns, ok := ss.NextTrace(budget - n)
+		if !ok {
+			break
+		}
+		n += uint64(len(dyns))
+		s.onTrace(tr, dyns)
+	}
+	if err := ss.Err(); err != nil {
+		return s.res, fmt.Errorf("pipeline: %w", err)
+	}
+	// A final partial trace (if any) is dropped, as in runSource.
+	s.finalize()
+	return s.res, nil
+}
+
+// runSource drains the source through trace selection and the frontend,
+// reusing a pooled dispatch buffer so the per-trace hot path does not
+// allocate.
+func (s *Simulator) runSource(src emulator.Source, budget uint64) (Result, error) {
+	s.ran = true
 	seg := trace.NewSegmenter(s.cfg.Select)
-	dyns := make([]emulator.Dyn, 0, s.cfg.Select.MaxLen)
-	_, err := em.Run(budget, func(d emulator.Dyn) bool {
+	bufp := dynPool.Get().(*[]emulator.Dyn)
+	dyns := (*bufp)[:0]
+	defer func() {
+		*bufp = dyns[:0]
+		dynPool.Put(bufp)
+	}()
+	var n uint64
+	for n < budget {
+		d, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
 		dyns = append(dyns, d)
-		if tr := seg.Push(d); tr != nil {
+		if tr := seg.PushBorrow(d); tr != nil {
 			s.onTrace(tr, dyns)
 			dyns = dyns[:0]
 		}
-		return true
-	})
-	if err != nil {
+	}
+	if err := src.Err(); err != nil {
 		return s.res, fmt.Errorf("pipeline: %w", err)
 	}
 	// The final partial trace (if any) is dropped: it never became a
 	// demanded trace.
+	s.finalize()
+	return s.res, nil
+}
+
+// finalize folds the component statistics into the Result after the
+// stream is exhausted.
+func (s *Simulator) finalize() {
 	if s.eng != nil {
 		s.res.Precon = s.eng.Stats()
 	}
@@ -268,11 +355,11 @@ func (s *Simulator) Run(budget uint64) (Result, error) {
 		s.res.AdaptivePBShare = s.adpt.TargetPBShare()
 		s.res.AdaptiveAdjusts = s.adpt.Adjustments()
 	}
-	return s.res, nil
 }
 
 // onTrace processes one demanded trace through the frontend and charges
-// its timing.
+// its timing. tr is borrowed from the segmenter (valid only for this
+// call); the miss path clones it before it escapes into the trace cache.
 func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 	id := tr.ID()
 	n := tr.Len()
@@ -320,10 +407,12 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 		s.res.TCMisses++
 		s.window.TCMisses++
 		fetchLat, slowBusy = s.slowPath(tr, dyns)
+		tr = tr.Clone() // the trace cache retains it
 		if s.cfg.PreprocEnabled {
 			tr.Opt = preproc.Optimize(tr)
 		}
 		s.tc.Insert(tr)
+		supplied = tr
 	}
 
 	// Frontend timing: redirects delay the fetch after a next-trace
@@ -391,7 +480,8 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 
 	// Train the slow-path predictors from the resolved stream and the
 	// next-trace predictor with the actual trace.
-	for _, d := range dyns {
+	for i := range dyns {
+		d := &dyns[i]
 		switch d.Inst.Classify() {
 		case isa.ClassBranch:
 			s.bim.Update(d.PC, d.Taken)
@@ -453,7 +543,7 @@ func (s *Simulator) slowPath(tr *trace.Trace, dyns []emulator.Dyn) (fetchLat, bu
 
 		// Per-branch prediction penalties.
 		in := tr.Insts[i]
-		d := dyns[i]
+		d := &dyns[i]
 		switch in.Classify() {
 		case isa.ClassBranch:
 			if s.bim.Predict(pc) != d.Taken {

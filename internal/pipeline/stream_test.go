@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+)
+
+// memLoopImage builds a loop with loads, stores, branches and calls so
+// every dynamic record kind (branch bits, memory deltas, indirect
+// targets) appears in a recorded stream.
+func memLoopImage(t *testing.T, iters int32) *program.Image {
+	t.Helper()
+	b := program.NewBuilder(0x1000)
+	b.ALUI(isa.OpAddI, 1, 0, iters)
+	b.ALUI(isa.OpAddI, 3, 0, 0x100) // base pointer
+	b.Label("loop")
+	b.Call("work")
+	b.ALUI(isa.OpAddI, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	b.Label("work")
+	b.Load(4, 3, 0)
+	b.ALUI(isa.OpAddI, 4, 4, 1)
+	b.Store(4, 3, 0)
+	b.ALUI(isa.OpAddI, 3, 3, 4)
+	b.Ret()
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestRunTwiceErrors(t *testing.T) {
+	im := loopImage(t, 50)
+	sim := MustNew(im, DefaultConfig().WithTraceCache(64))
+	if _, err := sim.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(1000); !errors.Is(err, ErrRunTwice) {
+		t.Fatalf("second Run: got %v, want ErrRunTwice", err)
+	}
+	// RunSource is guarded by the same contract.
+	st, err := emulator.Record(im, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunSource(st.Replay(), 1000); !errors.Is(err, ErrRunTwice) {
+		t.Fatalf("RunSource after Run: got %v, want ErrRunTwice", err)
+	}
+}
+
+func TestRunSourceMatchesRun(t *testing.T) {
+	im := memLoopImage(t, 200)
+	const budget = 5000
+	for _, timing := range []bool{false, true} {
+		cfg := DefaultConfig().WithTraceCache(64).WithPrecon(64)
+		cfg.FullTiming = timing
+		direct, err := MustNew(im, cfg).Run(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := emulator.Record(im, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := MustNew(im, cfg).RunSource(st.Replay(), budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(direct, replayed) {
+			t.Errorf("timing=%v: replayed result differs:\ndirect %+v\nreplay %+v",
+				timing, direct, replayed)
+		}
+	}
+}
+
+// BenchmarkRunAllocs measures the per-instruction allocation rate of a
+// full-timing run over a recorded stream: the dispatch buffer, backend
+// scratch and segmenter scratch must all be reused across traces, so
+// allocations stay bounded by trace-cache fills rather than trace count.
+func BenchmarkRunAllocs(b *testing.B) {
+	bld := program.NewBuilder(0x1000)
+	bld.LoadConst(1, 1<<30)
+	bld.ALUI(isa.OpAddI, 3, 0, 0x100)
+	bld.Label("loop")
+	bld.Load(4, 3, 0)
+	bld.ALUI(isa.OpAddI, 4, 4, 1)
+	bld.Store(4, 3, 0)
+	bld.ALUI(isa.OpAddI, 1, 1, -1)
+	bld.Branch(isa.OpBne, 1, 0, "loop")
+	bld.Halt()
+	im, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 100_000
+	st, err := emulator.Record(im, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig().WithTraceCache(256)
+	cfg.FullTiming = true
+	b.ReportAllocs()
+	b.SetBytes(budget)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MustNew(im, cfg).RunSource(st.Replay(), budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

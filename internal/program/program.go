@@ -68,6 +68,11 @@ func (im *Image) At(pc uint32) (isa.Inst, bool) {
 	return im.decoded[(pc-im.Base)/isa.WordSize], true
 }
 
+// Insts returns the decoded instructions in address order, indexed by
+// (pc-Base)/WordSize. The slice is shared and must not be mutated; hot
+// decode loops use it to skip At's per-call bounds arithmetic.
+func (im *Image) Insts() []isa.Inst { return im.decoded }
+
 // WordAt returns the encoded instruction word at pc.
 func (im *Image) WordAt(pc uint32) (uint32, bool) {
 	if !im.Contains(pc) {

@@ -8,7 +8,8 @@ import "tracepre/internal/emulator"
 // produces the same trace boundaries, which is what lets preconstructed
 // traces align with demanded ones.
 type Segmenter struct {
-	b *Builder
+	b      *Builder
+	sealed bool // last Push completed a trace still held in the builder
 }
 
 // NewSegmenter returns a Segmenter using the given selection rules.
@@ -18,23 +19,49 @@ func NewSegmenter(cfg SelectConfig) *Segmenter {
 
 // Push appends one committed instruction. When the instruction completes
 // a trace, the finished trace is returned (with Succ set to the next
-// committed PC); otherwise Push returns nil.
+// committed PC); otherwise Push returns nil. The returned trace is an
+// independent copy; the allocation-free variant is PushBorrow.
 func (s *Segmenter) Push(d emulator.Dyn) *Trace {
-	if s.b.Append(d.PC, d.Inst, d.Taken) {
-		t := s.b.Finish(d.NextPC)
+	if t := s.PushBorrow(d); t != nil {
+		return t.Clone()
+	}
+	return nil
+}
+
+// PushBorrow is Push without the defensive copy: the returned trace
+// aliases the Segmenter's internal builder and is invalidated by the
+// next Push/PushBorrow/Flush call. Callers that retain the trace must
+// Clone it. This keeps the simulator's per-trace hot path allocation
+// free — most demanded traces hit the trace cache and are discarded
+// immediately after the lookup.
+func (s *Segmenter) PushBorrow(d emulator.Dyn) *Trace {
+	if s.sealed {
 		s.b.Reset(false)
-		return t
+		s.sealed = false
+	}
+	if s.b.Append(d.PC, d.Inst, d.Taken) {
+		s.sealed = true
+		return s.b.Seal(d.NextPC)
 	}
 	return nil
 }
 
 // Pending returns the number of instructions buffered in the unfinished
 // trace.
-func (s *Segmenter) Pending() int { return s.b.Len() }
+func (s *Segmenter) Pending() int {
+	if s.sealed {
+		return 0
+	}
+	return s.b.Len()
+}
 
 // Flush seals and returns any partial trace (nil if none), e.g. at the
 // end of a run. succ is unknown and left zero.
 func (s *Segmenter) Flush() *Trace {
+	if s.sealed {
+		s.b.Reset(false)
+		s.sealed = false
+	}
 	t := s.b.Finish(0)
 	s.b.Reset(false)
 	return t

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+)
+
+// StreamSegmenter fuses stream replay with trace selection: it decodes a
+// recorded Stream directly into per-trace buffers, applying the same
+// termination rules as Builder.Append without the per-instruction
+// Dyn round trip through a Source. This is the replay fast path — one
+// decoded instruction is written exactly once into the dyn buffer and
+// once into the trace arrays, with no intermediate copies or calls.
+//
+// The selection rules here must mirror Builder.Append exactly; the
+// equivalence tests in internal/core compare full Result structs between
+// live emulation and this path across every workload, so any divergence
+// is a test failure, not a silent skew.
+type StreamSegmenter struct {
+	rp    *emulator.Replayer
+	cfg   SelectConfig
+	t     Trace
+	pcs   [16]uint32 // selection caps MaxLen at 16 (SelectConfig.Validate)
+	insts [16]isa.Inst
+	dyns  [16]emulator.Dyn
+}
+
+// NewStreamSegmenter returns a segmenter positioned at the start of the
+// stream. Any SelectConfig works: selection is evaluated during decode,
+// so nothing about the recording constrains the consumer's trace shape.
+func NewStreamSegmenter(st *emulator.Stream, cfg SelectConfig) *StreamSegmenter {
+	return &StreamSegmenter{rp: st.Replay(), cfg: cfg}
+}
+
+// NextTrace decodes the next complete trace, consuming at most limit
+// instructions. The returned trace and dyn slice are borrowed: they
+// alias the segmenter's buffers and are invalidated by the next call
+// (clone the trace if it must escape). ok=false means the stream ended,
+// an error occurred (see Err), or the limit was reached mid-trace —
+// matching the live path, which drops a final partial trace.
+func (ss *StreamSegmenter) NextTrace(limit uint64) (*Trace, []emulator.Dyn, bool) {
+	t := &ss.t
+	*t = Trace{}
+	sinceBwd := -1
+	max := ss.cfg.MaxLen
+	if limit > uint64(max) {
+		limit = uint64(max) // selection guarantees completion within MaxLen
+	}
+	k := 0
+	for uint64(k) < limit {
+		d := &ss.dyns[k]
+		if !ss.rp.NextInto(d) {
+			return nil, nil, false
+		}
+		ss.pcs[k] = d.PC
+		ss.insts[k] = d.Inst
+		k++
+		if sinceBwd >= 0 {
+			sinceBwd++
+		}
+		done := false
+		switch d.Inst.Classify() {
+		case isa.ClassBranch:
+			if d.Taken {
+				t.BrMask |= 1 << t.NumBr
+			}
+			t.NumBr++
+			if d.Inst.IsBackwardBranch() {
+				sinceBwd = 0
+			}
+		case isa.ClassReturn:
+			t.EndsInReturn = true
+			done = true
+		case isa.ClassJumpInd:
+			t.EndsInIndirect = true
+			done = true
+		case isa.ClassHalt:
+			t.EndsInHalt = true
+			done = true
+		}
+		if !done {
+			if k == max {
+				done = true
+			} else if sinceBwd > 0 && sinceBwd%ss.cfg.AlignMod == 0 {
+				done = true
+			} else if t.NumBr == 16 {
+				done = true
+			}
+		}
+		if done {
+			t.PCs = ss.pcs[:k]
+			t.Insts = ss.insts[:k]
+			t.Succ = d.NextPC
+			return t, ss.dyns[:k], true
+		}
+	}
+	return nil, nil, false
+}
+
+// Err reports the first decode error, if any.
+func (ss *StreamSegmenter) Err() error { return ss.rp.Err() }

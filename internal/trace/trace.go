@@ -232,6 +232,27 @@ func (b *Builder) Finish(succ uint32) *Trace {
 	return &t
 }
 
+// Seal finalizes the in-progress trace in place and returns a pointer
+// to the Builder's internal Trace, avoiding the copy Finish makes. The
+// returned trace is valid only until the next Append or Reset; callers
+// that retain it must Clone it first. An empty trace returns nil.
+func (b *Builder) Seal(succ uint32) *Trace {
+	if len(b.t.Insts) == 0 {
+		return nil
+	}
+	b.t.Succ = succ
+	return &b.t
+}
+
+// Clone returns a deep copy of the trace that is safe to retain, e.g.
+// when a borrowed trace escapes into the trace cache.
+func (t *Trace) Clone() *Trace {
+	c := *t
+	c.PCs = append([]uint32(nil), t.PCs...)
+	c.Insts = append([]isa.Inst(nil), t.Insts...)
+	return &c
+}
+
 // ContainsCall reports whether any instruction in the trace is a call;
 // the next-trace predictor's return history stack keys off this.
 func (t *Trace) ContainsCall() bool {
