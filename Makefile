@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz ci clean
+.PHONY: all build vet lint test race bench experiments fuzz ci clean
 
 all: build vet test
 
 # What CI runs (.github/workflows/ci.yml): the tier-1 gate plus a
-# race-detector pass over the short suite.
-ci: build vet test
+# race-detector pass over the short suite and the lint job.
+ci: build lint test
 	$(GO) test -race -short ./...
 
 build:
@@ -16,6 +16,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lint: vet always; staticcheck when installed (CI installs it — see
+# the lint job in .github/workflows/ci.yml).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -6,6 +6,8 @@ package tracepre
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"tracepre/internal/core"
@@ -229,6 +231,83 @@ func BenchmarkSweepTCBaseline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFigure5Harness compares the declarative sweep engine against
+// a hand-rolled fan-out replicating the pre-harness driver: the same
+// Figure 5 cells dispatched over one goroutine per CPU with no Matrix,
+// Grid or progress machinery. Both run replay-on against a warm stream
+// cache, so the delta is pure orchestration overhead (BENCH_harness.json
+// records the ratio; the harness must stay within 2%).
+func BenchmarkFigure5Harness(b *testing.B) {
+	benches := []string{"gcc", "go"}
+	// Cells of the fig5 matrix: every (bench, tc, pb) the driver sweeps.
+	type cell struct {
+		bench  string
+		tc, pb int
+	}
+	var cells []cell
+	for _, pb := range core.Figure5PBSizes {
+		for _, tc := range core.Figure5TCSizes {
+			if pb >= 256 && tc >= 1024 {
+				continue
+			}
+			for _, bench := range benches {
+				cells = append(cells, cell{bench, tc, pb})
+			}
+		}
+	}
+	// Warm the stream cache once so neither side measures recording.
+	if _, err := core.Figure5(benchBudget, benches); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("harness", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Figure5(benchBudget, benches); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var (
+				wg       sync.WaitGroup
+				errMu    sync.Mutex
+				firstErr error
+			)
+			next := make(chan int)
+			workers := runtime.GOMAXPROCS(0)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range next {
+						c := cells[j]
+						cfg := core.BaselineConfig(c.tc)
+						if c.pb > 0 {
+							cfg = core.PreconConfig(c.tc, c.pb)
+						}
+						if _, err := core.RunBenchmark(c.bench, cfg, benchBudget); err != nil {
+							errMu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							errMu.Unlock()
+						}
+					}
+				}()
+			}
+			for j := range cells {
+				next <- j
+			}
+			close(next)
+			wg.Wait()
+			if firstErr != nil {
+				b.Fatal(firstErr)
+			}
+		}
+	})
 }
 
 type discard struct{}

@@ -1,25 +1,41 @@
 // Command tablegen regenerates the paper's evaluation artifacts: Figure
 // 5 (trace cache miss rates), Tables 1-3 (instruction cache supply),
-// Figure 6 (speedup from preconstruction), and Figure 8 (the extended
-// pipeline combining preconstruction with preprocessing).
+// Figure 6 (speedup from preconstruction), Figure 8 (the extended
+// pipeline combining preconstruction with preprocessing), and the
+// extension/ablation studies.
 //
 // Usage:
 //
 //	tablegen -exp all -n 2000000
 //	tablegen -exp fig5 -bench gcc,go
+//	tablegen -exp all -format csv -out results/
+//	tablegen -exp fig6 -progress
 //	tablegen -list
+//
+// -format selects the renderer: table (aligned ASCII, the default),
+// csv, or json (structured typed results). -out writes one file per
+// experiment into a directory instead of stdout. -progress reports
+// sweep completion (cells done/total, elapsed, ETA) on stderr.
+// Interrupting a sweep (SIGINT/SIGTERM) cancels in-flight experiments
+// promptly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"tracepre/internal/core"
+	"tracepre/internal/harness"
 )
 
 func main() {
@@ -28,7 +44,10 @@ func main() {
 		n          = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
 		bench      = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
 		list       = flag.Bool("list", false, "list experiments and exit")
-		asJSON     = flag.Bool("json", false, "emit structured JSON instead of tables")
+		format     = flag.String("format", "table", "output format: table, csv or json")
+		asJSON     = flag.Bool("json", false, "emit structured JSON (shorthand for -format json)")
+		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		progress   = flag.Bool("progress", false, "report sweep progress (done/total, elapsed, ETA) on stderr")
 		replay     = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -41,6 +60,15 @@ func main() {
 		}
 		return
 	}
+	if *asJSON {
+		*format = "json"
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "tablegen: unknown -format %q (want table, csv or json)\n", *format)
+		os.Exit(2)
+	}
 
 	core.SetReplay(*replay)
 
@@ -52,6 +80,25 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
+	}
+
+	// A signal cancels the context; the sweep engine stops dispatching
+	// cells and every in-flight experiment returns promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *progress {
+		ctx = harness.ContextWithProgress(ctx, func(p harness.Progress) {
+			eta := ""
+			if p.ETA > 0 {
+				eta = fmt.Sprintf("  eta %s", p.ETA.Round(100_000_000)) // 0.1s
+			}
+			fmt.Fprintf(os.Stderr, "\rtablegen: %d/%d cells  %s elapsed%s ",
+				p.Done, p.Total, p.Elapsed.Round(100_000_000), eta)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
 	}
 
 	if *cpuprofile != "" {
@@ -79,21 +126,33 @@ func main() {
 		}()
 	}
 
-	if *asJSON {
-		out := map[string]interface{}{}
-		ids := []string{*exp}
-		if *exp == "all" {
-			ids = ids[:0]
-			for _, e := range core.Experiments() {
-				ids = append(ids, e.ID)
-			}
+	exps := []core.Experiment{}
+	if *exp == "all" {
+		exps = core.Experiments()
+	} else {
+		e, err := core.ExperimentByID(*exp)
+		if err != nil {
+			fail(err)
 		}
-		for _, id := range ids {
-			v, err := runStructured(id, *n, benches)
+		exps = append(exps, e)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	// JSON to stdout aggregates every experiment into one document;
+	// everything else emits per experiment (to stdout or its own file).
+	if *format == "json" && *outDir == "" {
+		out := map[string]any{}
+		for _, e := range exps {
+			v, err := e.Structured(ctx, *n, benches)
 			if err != nil {
-				fail(err)
+				fail(interrupted(ctx, err))
 			}
-			out[id] = v
+			out[e.ID] = v
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -103,56 +162,58 @@ func main() {
 		return
 	}
 
-	run := func(e core.Experiment) {
-		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-		out, err := e.Run(*n, benches)
+	for _, e := range exps {
+		data, err := render(ctx, e, *format, *n, benches)
 		if err != nil {
-			fail(err)
+			fail(interrupted(ctx, err))
 		}
-		fmt.Println(out)
-	}
-
-	if *exp == "all" {
-		for _, e := range core.Experiments() {
-			run(e)
+		if *outDir != "" {
+			name := filepath.Join(*outDir, e.ID+"."+ext(*format))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", name)
+			continue
 		}
-		return
+		if *format == "table" {
+			fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
 	}
-	e, err := core.ExperimentByID(*exp)
-	if err != nil {
-		fail(err)
-	}
-	run(e)
 }
 
-// runStructured returns the typed result for an experiment id, for
-// JSON output.
-func runStructured(id string, n uint64, benches []string) (interface{}, error) {
-	pick := func(def []string) []string {
-		if benches != nil {
-			return benches
+// render produces one experiment's output in the chosen format.
+func render(ctx context.Context, e core.Experiment, format string, n uint64, benches []string) ([]byte, error) {
+	if format == "json" {
+		v, err := e.Structured(ctx, n, benches)
+		if err != nil {
+			return nil, err
 		}
-		return def
+		return json.MarshalIndent(v, "", "  ")
 	}
-	switch id {
-	case "fig5":
-		return core.Figure5(n, pick(core.Benchmarks()))
-	case "tables123":
-		return core.Tables123(n, pick([]string{"gcc", "go"}))
-	case "fig6":
-		return core.Figure6(n, pick(core.TimingBenchmarks()))
-	case "fig8":
-		return core.Figure8(n, pick(core.TimingBenchmarks()))
-	case "ext-adaptive":
-		return core.AdaptivePartitionStudy(n, pick(core.TimingBenchmarks()))
-	case "ablation-precon":
-		return core.PreconAblations(n, pick([]string{"gcc", "vortex"}))
-	case "ablation-tpred":
-		return core.PredictorAblations(n, pick([]string{"gcc", "go", "perl"}))
-	case "sensitivity":
-		return core.Sensitivity(n, pick([]string{"gcc"}))
-	case "seeds":
-		return core.MultiSeed(n, pick([]string{"gcc", "vortex"}), 5)
+	specs, err := e.Tables(ctx, n, benches)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown experiment %q", id)
+	if format == "csv" {
+		return []byte(harness.RenderCSV(specs)), nil
+	}
+	return []byte(harness.RenderASCII(specs)), nil
+}
+
+// ext maps a format to its file extension for -out.
+func ext(format string) string {
+	if format == "table" {
+		return "txt"
+	}
+	return format
+}
+
+// interrupted rewords cancellation errors for the terminal.
+func interrupted(ctx context.Context, err error) error {
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return errors.New("interrupted")
+	}
+	return err
 }

@@ -12,13 +12,16 @@
 //
 //	out, err := core.Figure5(core.SmallBudget, []string{"gcc", "go"})
 //	fmt.Println(out.Table())
+//
+// Every experiment is a declarative harness.Matrix — see
+// internal/harness for the sweep engine (fan-out, stream reuse,
+// cancellation, progress) and the Metric/renderer model.
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"tracepre/internal/harness"
 	"tracepre/internal/pipeline"
 	"tracepre/internal/program"
 	"tracepre/internal/workload"
@@ -66,73 +69,9 @@ func LargeWorkingSet() []string { return []string{"gcc", "go", "vortex"} }
 // TimingBenchmarks returns the benchmarks of Figures 6 and 8.
 func TimingBenchmarks() []string { return []string{"gcc", "go", "perl", "vortex"} }
 
-// images memoizes generated benchmark programs: generation is
-// deterministic, so one image per name serves every experiment. The
-// mutex makes Image safe for the concurrent experiment runner.
-var (
-	imagesMu sync.Mutex
-	images   = map[string]*program.Image{}
-)
-
 // Image returns the (cached) program image for a benchmark. Images are
 // immutable after generation and safe to share across simulators.
-func Image(name string) (*program.Image, error) {
-	imagesMu.Lock()
-	defer imagesMu.Unlock()
-	if im, ok := images[name]; ok {
-		return im, nil
-	}
-	p, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	im, err := workload.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	images[name] = im
-	return im, nil
-}
-
-// runAll executes n independent jobs with bounded parallelism (one
-// worker per CPU), preserving job indices so callers can keep results
-// ordered. The first error wins; all jobs still complete.
-func runAll(n int, job func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := job(i); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
-}
+func Image(name string) (*program.Image, error) { return harness.Image(name) }
 
 // RunBenchmark simulates a benchmark under the configuration for the
 // given committed-instruction budget. When replay is enabled (the
@@ -140,11 +79,7 @@ func runAll(n int, job func(i int) error) error {
 // once into the shared stream cache and this and every later run of the
 // same (benchmark, budget) replays it instead of re-emulating.
 func RunBenchmark(name string, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
-	im, err := Image(name)
-	if err != nil {
-		return pipeline.Result{}, err
-	}
-	res, err := runKeyed(im, streamKey{name: name, budget: budget}, cfg, budget)
+	res, err := harness.RunBenchmark(name, 0, cfg, budget)
 	if err != nil {
 		return pipeline.Result{}, fmt.Errorf("core: %s: %w", name, err)
 	}
@@ -153,7 +88,7 @@ func RunBenchmark(name string, cfg pipeline.Config, budget uint64) (pipeline.Res
 
 // RunImage simulates an arbitrary image (for custom workloads). Ad-hoc
 // images have no cache identity, so RunImage always emulates directly;
-// use RunBenchmark (or MultiSeed's keyed path) to share streams.
+// use RunBenchmark (or the harness's keyed path) to share streams.
 func RunImage(im *program.Image, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
 	sim, err := pipeline.New(im, cfg)
 	if err != nil {
@@ -161,3 +96,21 @@ func RunImage(im *program.Image, cfg pipeline.Config, budget uint64) (pipeline.R
 	}
 	return sim.Run(budget)
 }
+
+// SetReplay switches record-once/replay-many execution on or off
+// (cmd flags plumb -replay here). It returns the previous setting.
+func SetReplay(on bool) bool { return harness.SetReplay(on) }
+
+// ReplayOn reports whether replay-based execution is enabled.
+func ReplayOn() bool { return harness.ReplayOn() }
+
+// SetStreamCacheCap bounds the memory (in encoded bytes) the shared
+// stream cache may hold; least-recently-used streams are evicted.
+func SetStreamCacheCap(bytes int64) { harness.SetStreamCacheCap(bytes) }
+
+// StreamCacheStats reports the cached stream count and encoded bytes.
+func StreamCacheStats() (entries int, bytes int64) { return harness.StreamCacheStats() }
+
+// ResetStreamCache drops every cached stream (tests and long-lived
+// servers switching workloads).
+func ResetStreamCache() { harness.ResetStreamCache() }

@@ -153,8 +153,8 @@ func TestExperimentsRegistry(t *testing.T) {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	for _, e := range exps {
-		if e.ID == "" || e.Title == "" || e.Run == nil {
-			t.Errorf("incomplete experiment %+v", e)
+		if e.ID == "" || e.Title == "" || e.Result == nil || e.DefaultBenches == nil {
+			t.Errorf("incomplete experiment %s", e.ID)
 		}
 		if got, err := ExperimentByID(e.ID); err != nil || got.ID != e.ID {
 			t.Errorf("ExperimentByID(%s) = %v, %v", e.ID, got.ID, err)

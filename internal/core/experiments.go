@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
-	"tracepre/internal/stats"
+	"tracepre/internal/harness"
 )
 
 // Figure5TCSizes are the trace cache sizes swept in Figure 5 (entries;
@@ -32,67 +33,76 @@ type Fig5Result struct {
 	Budget uint64
 }
 
+// fig5Points declares the Figure 5 storage grid as named config points.
+func fig5Points() []harness.ConfigPoint {
+	var pts []harness.ConfigPoint
+	for _, pb := range Figure5PBSizes {
+		for _, tc := range Figure5TCSizes {
+			if pb >= 256 && tc >= 1024 {
+				continue // beyond the paper's area range
+			}
+			cfg := BaselineConfig(tc)
+			if pb > 0 {
+				cfg = PreconConfig(tc, pb)
+			}
+			pts = append(pts, harness.ConfigPoint{Name: fmt.Sprintf("tc%d/pb%d", tc, pb), Cfg: cfg})
+		}
+	}
+	return pts
+}
+
 // Figure5 reproduces the paper's Figure 5: trace cache miss rates as a
 // function of combined trace cache + preconstruction buffer size, one
 // curve per buffer size, for each benchmark.
 func Figure5(budget uint64, benches []string) (*Fig5Result, error) {
-	if err := warmStreams(budget, benches); err != nil {
-		return nil, err
-	}
-	out := &Fig5Result{Budget: budget}
-	for _, b := range benches {
-		for _, pb := range Figure5PBSizes {
-			for _, tc := range Figure5TCSizes {
-				if pb >= 256 && tc >= 1024 {
-					continue // beyond the paper's area range
-				}
-				out.Points = append(out.Points, Fig5Point{
-					Bench: b, TCEntries: tc, PBEntries: pb,
-				})
-			}
-		}
-	}
-	err := runAll(len(out.Points), func(i int) error {
-		p := &out.Points[i]
-		cfg := BaselineConfig(p.TCEntries)
-		if p.PBEntries > 0 {
-			cfg = PreconConfig(p.TCEntries, p.PBEntries)
-		}
-		res, err := RunBenchmark(p.Bench, cfg, budget)
-		if err != nil {
-			return err
-		}
-		p.MissPerKI = res.TCMissPerKI()
-		return nil
+	return Figure5Ctx(context.Background(), budget, benches)
+}
+
+// Figure5Ctx is Figure5 with sweep cancellation and progress via ctx.
+func Figure5Ctx(ctx context.Context, budget uint64, benches []string) (*Fig5Result, error) {
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "fig5", Benches: benches, Budget: budget, Points: fig5Points(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := &Fig5Result{Budget: budget}
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		out.Points = append(out.Points, Fig5Point{
+			Bench:     c.Bench,
+			TCEntries: c.Point.Cfg.TraceCache.Entries,
+			PBEntries: c.Point.Cfg.Buffers.Entries,
+			MissPerKI: harness.TCMissPerKI.Of(c.Result),
+		})
+	}
 	return out, nil
 }
 
-// Table renders the sweep, one section per benchmark.
-func (r *Fig5Result) Table() string {
-	out := ""
-	byBench := map[string][]Fig5Point{}
-	var order []string
+// TableSpecs renders the sweep, one panel per benchmark.
+func (r *Fig5Result) TableSpecs() []harness.TableSpec {
+	var specs []harness.TableSpec
+	byBench := map[string]int{}
 	for _, p := range r.Points {
-		if _, ok := byBench[p.Bench]; !ok {
-			order = append(order, p.Bench)
+		i, ok := byBench[p.Bench]
+		if !ok {
+			i = len(specs)
+			byBench[p.Bench] = i
+			specs = append(specs, harness.TableSpec{
+				Title: fmt.Sprintf("Figure 5 [%s]: trace cache misses per 1000 instructions (budget %d)",
+					p.Bench, r.Budget),
+				Headers:    []string{"TC entries", "PB entries", "combined", "miss/KI"},
+				BlankAfter: true,
+			})
 		}
-		byBench[p.Bench] = append(byBench[p.Bench], p)
+		specs[i].Rows = append(specs[i].Rows,
+			[]any{p.TCEntries, p.PBEntries, p.CombinedEntries(), p.MissPerKI})
 	}
-	for _, b := range order {
-		t := stats.NewTable(
-			fmt.Sprintf("Figure 5 [%s]: trace cache misses per 1000 instructions (budget %d)", b, r.Budget),
-			"TC entries", "PB entries", "combined", "miss/KI")
-		for _, p := range byBench[b] {
-			t.AddRow(p.TCEntries, p.PBEntries, p.CombinedEntries(), p.MissPerKI)
-		}
-		out += t.String() + "\n"
-	}
-	return out
+	return specs
 }
+
+// Table renders the sweep as ASCII text.
+func (r *Fig5Result) Table() string { return harness.RenderASCII(r.TableSpecs()) }
 
 // SupplyRow is one benchmark's Table 1/2/3 measurements for the paper's
 // two configurations: a 512-entry trace cache versus a 256-entry trace
@@ -117,55 +127,57 @@ type SupplyResult struct {
 // Tables123 reproduces Tables 1, 2 and 3: instruction cache supply and
 // miss behaviour with and without preconstruction for gcc and go.
 func Tables123(budget uint64, benches []string) (*SupplyResult, error) {
-	if err := warmStreams(budget, benches); err != nil {
-		return nil, err
-	}
-	out := &SupplyResult{Budget: budget, Rows: make([]SupplyRow, len(benches))}
-	err := runAll(len(benches), func(i int) error {
-		b := benches[i]
-		base, err := RunBenchmark(b, BaselineConfig(512), budget)
-		if err != nil {
-			return err
-		}
-		pre, err := RunBenchmark(b, PreconConfig(256, 256), budget)
-		if err != nil {
-			return err
-		}
-		out.Rows[i] = SupplyRow{
-			Bench:             b,
-			BaseICInstrsPerKI: base.ICacheInstrsPerKI(),
-			PreICInstrsPerKI:  pre.ICacheInstrsPerKI(),
-			BaseICMissPerKI:   base.ICacheMissesPerKI(),
-			PreICMissPerKI:    pre.ICacheMissesPerKI(),
-			BaseFromMissPerKI: base.InstrsFromICMissesPerKI(),
-			PreFromMissPerKI:  pre.InstrsFromICMissesPerKI(),
-		}
-		return nil
+	return Tables123Ctx(context.Background(), budget, benches)
+}
+
+// Tables123Ctx is Tables123 with sweep cancellation and progress via ctx.
+func Tables123Ctx(ctx context.Context, budget uint64, benches []string) (*SupplyResult, error) {
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "tables123", Benches: benches, Budget: budget,
+		Points: []harness.ConfigPoint{
+			{Name: "base", Cfg: BaselineConfig(512)},
+			{Name: "precon", Cfg: PreconConfig(256, 256)},
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := &SupplyResult{Budget: budget, Rows: make([]SupplyRow, len(benches))}
+	for i, b := range benches {
+		base, pre := g.MustCell(b, "base").Result, g.MustCell(b, "precon").Result
+		out.Rows[i] = SupplyRow{
+			Bench:             b,
+			BaseICInstrsPerKI: harness.ICacheInstrsPerKI.Of(base),
+			PreICInstrsPerKI:  harness.ICacheInstrsPerKI.Of(pre),
+			BaseICMissPerKI:   harness.ICacheMissesPerKI.Of(base),
+			PreICMissPerKI:    harness.ICacheMissesPerKI.Of(pre),
+			BaseFromMissPerKI: harness.InstrsFromICMissesPerKI.Of(base),
+			PreFromMissPerKI:  harness.InstrsFromICMissesPerKI.Of(pre),
+		}
+	}
 	return out, nil
 }
 
-// Table renders Tables 1-3 in the paper's layout.
-func (r *SupplyResult) Table() string {
-	t1 := stats.NewTable(
-		fmt.Sprintf("Table 1: instructions supplied by the I-cache per 1000 instructions (budget %d)", r.Budget),
-		"benchmark", "512-entry TC", "256 TC + 256 PB")
-	t2 := stats.NewTable(
-		"Table 2: I-cache misses per 1000 instructions",
-		"benchmark", "512-entry TC", "256 TC + 256 PB")
-	t3 := stats.NewTable(
-		"Table 3: instructions supplied by I-cache misses per 1000 instructions",
-		"benchmark", "512-entry TC", "256 TC + 256 PB")
-	for _, row := range r.Rows {
-		t1.AddRow(row.Bench, row.BaseICInstrsPerKI, row.PreICInstrsPerKI)
-		t2.AddRow(row.Bench, row.BaseICMissPerKI, row.PreICMissPerKI)
-		t3.AddRow(row.Bench, row.BaseFromMissPerKI, row.PreFromMissPerKI)
+// TableSpecs renders Tables 1-3 in the paper's layout.
+func (r *SupplyResult) TableSpecs() []harness.TableSpec {
+	specs := []harness.TableSpec{
+		{Title: fmt.Sprintf("Table 1: instructions supplied by the I-cache per 1000 instructions (budget %d)", r.Budget),
+			Headers: []string{"benchmark", "512-entry TC", "256 TC + 256 PB"}, BlankAfter: true},
+		{Title: "Table 2: I-cache misses per 1000 instructions",
+			Headers: []string{"benchmark", "512-entry TC", "256 TC + 256 PB"}, BlankAfter: true},
+		{Title: "Table 3: instructions supplied by I-cache misses per 1000 instructions",
+			Headers: []string{"benchmark", "512-entry TC", "256 TC + 256 PB"}},
 	}
-	return t1.String() + "\n" + t2.String() + "\n" + t3.String()
+	for _, row := range r.Rows {
+		specs[0].Rows = append(specs[0].Rows, []any{row.Bench, row.BaseICInstrsPerKI, row.PreICInstrsPerKI})
+		specs[1].Rows = append(specs[1].Rows, []any{row.Bench, row.BaseICMissPerKI, row.PreICMissPerKI})
+		specs[2].Rows = append(specs[2].Rows, []any{row.Bench, row.BaseFromMissPerKI, row.PreFromMissPerKI})
+	}
+	return specs
 }
+
+// Table renders Tables 1-3 as ASCII text.
+func (r *SupplyResult) Table() string { return harness.RenderASCII(r.TableSpecs()) }
 
 // Fig6Point is one bar of Figure 6: the percent speedup from replacing
 // half of a trace cache with preconstruction buffers.
@@ -183,51 +195,61 @@ type Fig6Result struct {
 	Budget uint64
 }
 
+// Figure6TCSizes are the baseline trace cache sizes of Figure 6.
+var Figure6TCSizes = []int{256, 512}
+
 // Figure6 reproduces Figure 6: overall performance improvement from
 // preconstruction under the full timing model (paper: 3-10% for gcc,
 // go, perl and vortex).
 func Figure6(budget uint64, benches []string) (*Fig6Result, error) {
-	if err := warmStreams(budget, benches); err != nil {
-		return nil, err
+	return Figure6Ctx(context.Background(), budget, benches)
+}
+
+// Figure6Ctx is Figure6 with sweep cancellation and progress via ctx.
+func Figure6Ctx(ctx context.Context, budget uint64, benches []string) (*Fig6Result, error) {
+	var pts []harness.ConfigPoint
+	for _, tc := range Figure6TCSizes {
+		pts = append(pts,
+			harness.ConfigPoint{Name: fmt.Sprintf("base%d", tc), Cfg: TimingConfig(BaselineConfig(tc), false)},
+			harness.ConfigPoint{Name: fmt.Sprintf("precon%d", tc), Cfg: TimingConfig(PreconConfig(tc/2, tc/2), false)})
 	}
-	out := &Fig6Result{Budget: budget}
-	for _, b := range benches {
-		for _, tc := range []int{256, 512} {
-			out.Points = append(out.Points, Fig6Point{Bench: b, TCEntries: tc})
-		}
-	}
-	err := runAll(len(out.Points), func(i int) error {
-		p := &out.Points[i]
-		base, err := RunBenchmark(p.Bench, TimingConfig(BaselineConfig(p.TCEntries), false), budget)
-		if err != nil {
-			return err
-		}
-		pre, err := RunBenchmark(p.Bench, TimingConfig(PreconConfig(p.TCEntries/2, p.TCEntries/2), false), budget)
-		if err != nil {
-			return err
-		}
-		p.SpeedupPct = stats.Speedup(base.Cycles, pre.Cycles)
-		p.BaseIPC = base.IPC()
-		p.PreconIPC = pre.IPC()
-		return nil
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "fig6", Benches: benches, Budget: budget, Points: pts,
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := &Fig6Result{Budget: budget}
+	for _, b := range benches {
+		for _, tc := range Figure6TCSizes {
+			base := g.MustCell(b, fmt.Sprintf("base%d", tc))
+			pre := g.MustCell(b, fmt.Sprintf("precon%d", tc))
+			out.Points = append(out.Points, Fig6Point{
+				Bench: b, TCEntries: tc,
+				SpeedupPct: harness.SpeedupPct(base, pre),
+				BaseIPC:    harness.IPC.Of(base.Result),
+				PreconIPC:  harness.IPC.Of(pre.Result),
+			})
+		}
+	}
 	return out, nil
 }
 
-// Table renders Figure 6.
-func (r *Fig6Result) Table() string {
-	t := stats.NewTable(
-		fmt.Sprintf("Figure 6: speedup from preconstruction, TC vs TC/2 + PB/2 (budget %d)", r.Budget),
-		"benchmark", "TC entries", "base IPC", "precon IPC", "speedup %")
-	for _, p := range r.Points {
-		t.AddRow(p.Bench, p.TCEntries, fmt.Sprintf("%.3f", p.BaseIPC),
-			fmt.Sprintf("%.3f", p.PreconIPC), p.SpeedupPct)
+// TableSpecs renders Figure 6.
+func (r *Fig6Result) TableSpecs() []harness.TableSpec {
+	spec := harness.TableSpec{
+		Title: fmt.Sprintf("Figure 6: speedup from preconstruction, TC vs TC/2 + PB/2 (budget %d)", r.Budget),
+		Headers: []string{"benchmark", "TC entries", "base IPC", "precon IPC", "speedup %"},
 	}
-	return t.String()
+	for _, p := range r.Points {
+		spec.Rows = append(spec.Rows, []any{p.Bench, p.TCEntries,
+			fmt.Sprintf("%.3f", p.BaseIPC), fmt.Sprintf("%.3f", p.PreconIPC), p.SpeedupPct})
+	}
+	return []harness.TableSpec{spec}
 }
+
+// Table renders Figure 6 as ASCII text.
+func (r *Fig6Result) Table() string { return harness.RenderASCII(r.TableSpecs()) }
 
 // Fig8Row is one benchmark of Figure 8: speedups from preconstruction,
 // preprocessing, their combination, and the sum of the parts.
@@ -252,64 +274,106 @@ type Fig8Result struct {
 // reports 2-8% (a), 8-12% (b), and 12-20% (c), with (c) exceeding the
 // sum of (a) and (b).
 func Figure8(budget uint64, benches []string) (*Fig8Result, error) {
-	if err := warmStreams(budget, benches); err != nil {
-		return nil, err
-	}
-	out := &Fig8Result{Budget: budget, Rows: make([]Fig8Row, len(benches))}
-	err := runAll(len(benches), func(i int) error {
-		b := benches[i]
-		base, err := RunBenchmark(b, TimingConfig(BaselineConfig(256), false), budget)
-		if err != nil {
-			return err
-		}
-		pre, err := RunBenchmark(b, TimingConfig(PreconConfig(128, 128), false), budget)
-		if err != nil {
-			return err
-		}
-		pp, err := RunBenchmark(b, TimingConfig(BaselineConfig(256), true), budget)
-		if err != nil {
-			return err
-		}
-		both, err := RunBenchmark(b, TimingConfig(PreconConfig(128, 128), true), budget)
-		if err != nil {
-			return err
-		}
-		row := Fig8Row{
-			Bench:       b,
-			PreconPct:   stats.Speedup(base.Cycles, pre.Cycles),
-			PreprocPct:  stats.Speedup(base.Cycles, pp.Cycles),
-			CombinedPct: stats.Speedup(base.Cycles, both.Cycles),
-			BaseIPC:     base.IPC(),
-		}
-		row.SumPct = row.PreconPct + row.PreprocPct
-		out.Rows[i] = row
-		return nil
+	return Figure8Ctx(context.Background(), budget, benches)
+}
+
+// Figure8Ctx is Figure8 with sweep cancellation and progress via ctx.
+func Figure8Ctx(ctx context.Context, budget uint64, benches []string) (*Fig8Result, error) {
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "fig8", Benches: benches, Budget: budget,
+		Points: []harness.ConfigPoint{
+			{Name: "base", Cfg: TimingConfig(BaselineConfig(256), false)},
+			{Name: "precon", Cfg: TimingConfig(PreconConfig(128, 128), false)},
+			{Name: "preproc", Cfg: TimingConfig(BaselineConfig(256), true)},
+			{Name: "both", Cfg: TimingConfig(PreconConfig(128, 128), true)},
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := &Fig8Result{Budget: budget, Rows: make([]Fig8Row, len(benches))}
+	for i, b := range benches {
+		base := g.MustCell(b, "base")
+		row := Fig8Row{
+			Bench:       b,
+			PreconPct:   harness.SpeedupPct(base, g.MustCell(b, "precon")),
+			PreprocPct:  harness.SpeedupPct(base, g.MustCell(b, "preproc")),
+			CombinedPct: harness.SpeedupPct(base, g.MustCell(b, "both")),
+			BaseIPC:     harness.IPC.Of(base.Result),
+		}
+		row.SumPct = row.PreconPct + row.PreprocPct
+		out.Rows[i] = row
+	}
 	return out, nil
 }
 
-// Table renders Figure 8.
-func (r *Fig8Result) Table() string {
-	t := stats.NewTable(
-		fmt.Sprintf("Figure 8: extended pipeline speedups over a 256-entry TC (budget %d)", r.Budget),
-		"benchmark", "base IPC", "precon %", "preproc %", "combined %", "sum of parts %")
-	for _, row := range r.Rows {
-		t.AddRow(row.Bench, fmt.Sprintf("%.3f", row.BaseIPC),
-			row.PreconPct, row.PreprocPct, row.CombinedPct, row.SumPct)
+// TableSpecs renders Figure 8.
+func (r *Fig8Result) TableSpecs() []harness.TableSpec {
+	spec := harness.TableSpec{
+		Title: fmt.Sprintf("Figure 8: extended pipeline speedups over a 256-entry TC (budget %d)", r.Budget),
+		Headers: []string{"benchmark", "base IPC", "precon %", "preproc %", "combined %", "sum of parts %"},
 	}
-	return t.String()
+	for _, row := range r.Rows {
+		spec.Rows = append(spec.Rows, []any{row.Bench, fmt.Sprintf("%.3f", row.BaseIPC),
+			row.PreconPct, row.PreprocPct, row.CombinedPct, row.SumPct})
+	}
+	return []harness.TableSpec{spec}
 }
 
-// Experiment identifies one reproducible artifact from the paper.
+// Table renders Figure 8 as ASCII text.
+func (r *Fig8Result) Table() string { return harness.RenderASCII(r.TableSpecs()) }
+
+// Experiment identifies one reproducible artifact from the paper: an
+// ID, a title, the benchmark set it defaults to, and the harness-backed
+// driver producing its typed, renderable result.
 type Experiment struct {
 	ID    string
 	Title string
-	// Run executes the experiment over the benchmarks (nil = the
-	// experiment's default set) and renders its tables.
-	Run func(budget uint64, benches []string) (string, error)
+	// DefaultBenches returns the benchmark set used when the caller
+	// passes nil benchmarks.
+	DefaultBenches func() []string
+	// Result executes the experiment over the benchmarks and returns
+	// its typed result (which renders via TableSpecs).
+	Result func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error)
+}
+
+// pick resolves the benchmark set.
+func (e Experiment) pick(benches []string) []string {
+	if benches == nil {
+		return e.DefaultBenches()
+	}
+	return benches
+}
+
+// Run executes the experiment and renders its tables as ASCII text
+// (nil benches = the experiment's default set).
+func (e Experiment) Run(budget uint64, benches []string) (string, error) {
+	return e.RunCtx(context.Background(), budget, benches)
+}
+
+// RunCtx is Run with cancellation and progress via ctx.
+func (e Experiment) RunCtx(ctx context.Context, budget uint64, benches []string) (string, error) {
+	specs, err := e.Tables(ctx, budget, benches)
+	if err != nil {
+		return "", err
+	}
+	return harness.RenderASCII(specs), nil
+}
+
+// Tables executes the experiment and returns its renderer-independent
+// tables, for the CSV and JSON-table output formats.
+func (e Experiment) Tables(ctx context.Context, budget uint64, benches []string) ([]harness.TableSpec, error) {
+	r, err := e.Result(ctx, budget, e.pick(benches))
+	if err != nil {
+		return nil, err
+	}
+	return r.TableSpecs(), nil
+}
+
+// Structured executes the experiment and returns its typed result for
+// JSON serialization.
+func (e Experiment) Structured(ctx context.Context, budget uint64, benches []string) (any, error) {
+	return e.Result(ctx, budget, e.pick(benches))
 }
 
 // Experiments lists every table and figure of the paper's evaluation,
@@ -324,59 +388,35 @@ func Experiments() []Experiment {
 func PaperExperiments() []Experiment {
 	return []Experiment{
 		{
-			ID:    "fig5",
-			Title: "Figure 5: trace cache miss rates across TC/PB configurations",
-			Run: func(budget uint64, benches []string) (string, error) {
-				if benches == nil {
-					benches = Benchmarks()
-				}
-				r, err := Figure5(budget, benches)
-				if err != nil {
-					return "", err
-				}
-				return r.Table(), nil
+			ID:             "fig5",
+			Title:          "Figure 5: trace cache miss rates across TC/PB configurations",
+			DefaultBenches: Benchmarks,
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return Figure5Ctx(ctx, budget, benches)
 			},
 		},
 		{
-			ID:    "tables123",
-			Title: "Tables 1-3: instruction cache supply with and without preconstruction",
-			Run: func(budget uint64, benches []string) (string, error) {
-				if benches == nil {
-					benches = []string{"gcc", "go"}
-				}
-				r, err := Tables123(budget, benches)
-				if err != nil {
-					return "", err
-				}
-				return r.Table(), nil
+			ID:             "tables123",
+			Title:          "Tables 1-3: instruction cache supply with and without preconstruction",
+			DefaultBenches: func() []string { return []string{"gcc", "go"} },
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return Tables123Ctx(ctx, budget, benches)
 			},
 		},
 		{
-			ID:    "fig6",
-			Title: "Figure 6: performance improvement from preconstruction",
-			Run: func(budget uint64, benches []string) (string, error) {
-				if benches == nil {
-					benches = TimingBenchmarks()
-				}
-				r, err := Figure6(budget, benches)
-				if err != nil {
-					return "", err
-				}
-				return r.Table(), nil
+			ID:             "fig6",
+			Title:          "Figure 6: performance improvement from preconstruction",
+			DefaultBenches: TimingBenchmarks,
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return Figure6Ctx(ctx, budget, benches)
 			},
 		},
 		{
-			ID:    "fig8",
-			Title: "Figure 8: extended pipeline (preconstruction x preprocessing)",
-			Run: func(budget uint64, benches []string) (string, error) {
-				if benches == nil {
-					benches = TimingBenchmarks()
-				}
-				r, err := Figure8(budget, benches)
-				if err != nil {
-					return "", err
-				}
-				return r.Table(), nil
+			ID:             "fig8",
+			Title:          "Figure 8: extended pipeline (preconstruction x preprocessing)",
+			DefaultBenches: TimingBenchmarks,
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return Figure8Ctx(ctx, budget, benches)
 			},
 		},
 	}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 
+	"tracepre/internal/harness"
 	"tracepre/internal/stats"
-	"tracepre/internal/workload"
 )
 
 // SeedStats summarizes the iso-area preconstruction comparison for one
@@ -31,89 +31,60 @@ type MultiSeedResult struct {
 // instance. The paper's conclusion should be a property of the
 // workload *class*, not of one sampled program.
 func MultiSeed(budget uint64, benches []string, seeds int) (*MultiSeedResult, error) {
+	return MultiSeedCtx(context.Background(), budget, benches, seeds)
+}
+
+// MultiSeedCtx is MultiSeed with sweep cancellation and progress via
+// ctx. The seed axis of the matrix carries the perturbations; one
+// recording per (benchmark, seed) serves both machine configurations
+// via the keyed stream cache.
+func MultiSeedCtx(ctx context.Context, budget uint64, benches []string, seeds int) (*MultiSeedResult, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("core: MultiSeed needs >= 2 seeds, got %d", seeds)
 	}
-	out := &MultiSeedResult{Budget: budget, Rows: make([]SeedStats, len(benches))}
-
-	type job struct{ bench, seed int }
-	var jobs []job
-	for bi := range benches {
-		for s := 0; s < seeds; s++ {
-			jobs = append(jobs, job{bi, s})
-		}
+	deltas := make([]int64, seeds)
+	for s := range deltas {
+		deltas[s] = int64(s * 7919) // distinct program instances
 	}
-	reductions := make([]float64, len(jobs))
-	err := runAll(len(jobs), func(i int) error {
-		j := jobs[i]
-		name := benches[j.bench]
-		p, err := workload.ByName(name)
-		if err != nil {
-			return err
-		}
-		seedDelta := int64(j.seed * 7919) // distinct program instances
-		p.Seed += seedDelta
-		im, err := workload.Generate(p)
-		if err != nil {
-			return err
-		}
-		// One recording per (benchmark, seed) serves both machine
-		// configurations via the keyed stream cache.
-		key := streamKey{name: name, seed: seedDelta, budget: budget}
-		base, err := runKeyed(im, key, BaselineConfig(512), budget)
-		if err != nil {
-			return err
-		}
-		pre, err := runKeyed(im, key, PreconConfig(256, 256), budget)
-		if err != nil {
-			return err
-		}
-		reductions[i] = stats.Reduction(base.TCMissPerKI(), pre.TCMissPerKI())
-		return nil
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "seeds", Benches: benches, Seeds: deltas, Budget: budget,
+		Points: []harness.ConfigPoint{
+			{Name: "base", Cfg: BaselineConfig(512)},
+			{Name: "precon", Cfg: PreconConfig(256, 256)},
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-
+	out := &MultiSeedResult{Budget: budget, Rows: make([]SeedStats, len(benches))}
 	for bi, b := range benches {
-		rs := reductions[bi*seeds : (bi+1)*seeds]
-		mean := 0.0
-		for _, r := range rs {
-			mean += r
+		reductions := make([]float64, seeds)
+		for si, d := range deltas {
+			base, pre := g.MustCellSeed(b, d, "base"), g.MustCellSeed(b, d, "precon")
+			reductions[si] = harness.ReductionPct(harness.TCMissPerKI, base, pre)
 		}
-		mean /= float64(seeds)
-		variance := 0.0
-		min, max := rs[0], rs[0]
-		for _, r := range rs {
-			variance += (r - mean) * (r - mean)
-			if r < min {
-				min = r
-			}
-			if r > max {
-				max = r
-			}
-		}
-		variance /= float64(seeds - 1)
+		s := stats.Summarize(reductions)
 		out.Rows[bi] = SeedStats{
-			Bench:         b,
-			Seeds:         seeds,
-			MeanReduction: mean,
-			StdReduction:  math.Sqrt(variance),
-			MinReduction:  min,
-			MaxReduction:  max,
+			Bench: b, Seeds: seeds,
+			MeanReduction: s.Mean, StdReduction: s.Std,
+			MinReduction: s.Min, MaxReduction: s.Max,
 		}
 	}
 	return out, nil
 }
 
-// Table renders the study.
-func (r *MultiSeedResult) Table() string {
-	t := stats.NewTable(
-		fmt.Sprintf("Across program seeds: iso-area miss reduction, 512 TC vs 256+256 (budget %d)", r.Budget),
-		"benchmark", "seeds", "mean %", "stddev", "min %", "max %")
-	for _, row := range r.Rows {
-		t.AddRow(row.Bench, row.Seeds, row.MeanReduction, row.StdReduction,
-			row.MinReduction, row.MaxReduction)
+// TableSpecs renders the study.
+func (r *MultiSeedResult) TableSpecs() []harness.TableSpec {
+	spec := harness.TableSpec{
+		Title: fmt.Sprintf("Across program seeds: iso-area miss reduction, 512 TC vs 256+256 (budget %d)", r.Budget),
+		Headers: []string{"benchmark", "seeds", "mean %", "stddev", "min %", "max %"},
 	}
-	return t.String()
+	for _, row := range r.Rows {
+		spec.Rows = append(spec.Rows, []any{row.Bench, row.Seeds, row.MeanReduction,
+			row.StdReduction, row.MinReduction, row.MaxReduction})
+	}
+	return []harness.TableSpec{spec}
 }
+
+// Table renders the study as ASCII text.
+func (r *MultiSeedResult) Table() string { return harness.RenderASCII(r.TableSpecs()) }

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"tracepre/internal/harness"
 	"tracepre/internal/pipeline"
-	"tracepre/internal/stats"
 )
 
 // SensitivityRow records the iso-area preconstruction comparison (512
@@ -64,57 +65,65 @@ func sensitivityVariants() []struct {
 // Sensitivity measures the headline iso-area comparison under each
 // model-parameter variant.
 func Sensitivity(budget uint64, benches []string) (*SensitivityResult, error) {
-	if err := warmStreams(budget, benches); err != nil {
-		return nil, err
-	}
-	variants := sensitivityVariants()
-	out := &SensitivityResult{Budget: budget}
-	for _, v := range variants {
-		for _, b := range benches {
-			out.Rows = append(out.Rows, SensitivityRow{Variant: v.name, Bench: b})
-		}
-	}
-	err := runAll(len(out.Rows), func(i int) error {
-		row := &out.Rows[i]
-		mut := variants[i/len(benches)].mut
+	return SensitivityCtx(context.Background(), budget, benches)
+}
 
-		baseCfg := BaselineConfig(512)
-		if mut != nil {
-			mut(&baseCfg)
+// SensitivityCtx is Sensitivity with sweep cancellation and progress
+// via ctx.
+func SensitivityCtx(ctx context.Context, budget uint64, benches []string) (*SensitivityResult, error) {
+	variants := sensitivityVariants()
+	var pts []harness.ConfigPoint
+	for _, v := range variants {
+		base, pre := BaselineConfig(512), PreconConfig(256, 256)
+		if v.mut != nil {
+			v.mut(&base)
+			v.mut(&pre)
 		}
-		base, err := RunBenchmark(row.Bench, baseCfg, budget)
-		if err != nil {
-			return err
-		}
-		preCfg := PreconConfig(256, 256)
-		if mut != nil {
-			mut(&preCfg)
-		}
-		pre, err := RunBenchmark(row.Bench, preCfg, budget)
-		if err != nil {
-			return err
-		}
-		row.BaseMissKI = base.TCMissPerKI()
-		row.PreconMissKI = pre.TCMissPerKI()
-		row.ReductionPct = stats.Reduction(row.BaseMissKI, row.PreconMissKI)
-		return nil
+		pts = append(pts,
+			harness.ConfigPoint{Name: v.name + "/base", Cfg: base},
+			harness.ConfigPoint{Name: v.name + "/precon", Cfg: pre})
+	}
+	g, err := harness.Run(ctx, harness.Matrix{
+		Name: "sensitivity", Benches: benches, Budget: budget, Points: pts,
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := &SensitivityResult{Budget: budget}
+	for _, v := range variants {
+		for _, b := range benches {
+			base, pre := g.MustCell(b, v.name+"/base"), g.MustCell(b, v.name+"/precon")
+			out.Rows = append(out.Rows, SensitivityRow{
+				Variant: v.name, Bench: b,
+				BaseMissKI:   harness.TCMissPerKI.Of(base.Result),
+				PreconMissKI: harness.TCMissPerKI.Of(pre.Result),
+				ReductionPct: harness.ReductionPct(harness.TCMissPerKI, base, pre),
+			})
+		}
+	}
 	return out, nil
 }
 
-// Table renders the study.
-func (r *SensitivityResult) Table() string {
-	t := stats.NewTable(
-		fmt.Sprintf("Sensitivity: iso-area comparison (512 TC vs 256+256) across model parameters (budget %d)", r.Budget),
-		"variant", "benchmark", "512 TC miss/KI", "256+256 miss/KI", "reduction %")
-	for _, row := range r.Rows {
-		t.AddRow(row.Variant, row.Bench, row.BaseMissKI, row.PreconMissKI, row.ReductionPct)
+// TableSpecs renders the study, with the verdict line as the table's
+// footer.
+func (r *SensitivityResult) TableSpecs() []harness.TableSpec {
+	spec := harness.TableSpec{
+		Title: fmt.Sprintf("Sensitivity: iso-area comparison (512 TC vs 256+256) across model parameters (budget %d)", r.Budget),
+		Headers: []string{"variant", "benchmark", "512 TC miss/KI", "256+256 miss/KI", "reduction %"},
+		Footer:  "CONCLUSION HOLDS under every variant\n",
 	}
-	return t.String()
+	if !r.HoldsEverywhere() {
+		spec.Footer = "WARNING: conclusion reverses under some variant\n"
+	}
+	for _, row := range r.Rows {
+		spec.Rows = append(spec.Rows, []any{row.Variant, row.Bench, row.BaseMissKI,
+			row.PreconMissKI, row.ReductionPct})
+	}
+	return []harness.TableSpec{spec}
 }
+
+// Table renders the study (including the verdict) as ASCII text.
+func (r *SensitivityResult) Table() string { return harness.RenderASCII(r.TableSpecs()) }
 
 // HoldsEverywhere reports whether preconstruction won under every
 // variant (used by tests and the experiment summary).

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"tracepre/internal/pipeline"
+	"tracepre/internal/stats"
+)
+
+// Metric is a named extractor turning one cell's Result into the
+// number a table reports. Naming the extraction keeps experiment
+// declarations readable and lets generic renderers label columns.
+type Metric struct {
+	Name string
+	Fn   func(pipeline.Result) float64
+}
+
+// Of applies the metric.
+func (m Metric) Of(r pipeline.Result) float64 { return m.Fn(r) }
+
+// The paper's metrics, ready for experiment declarations.
+var (
+	// TCMissPerKI is trace cache misses per 1000 committed
+	// instructions (Figure 5's y-axis).
+	TCMissPerKI = Metric{"tc-miss/KI", pipeline.Result.TCMissPerKI}
+	// ICacheInstrsPerKI is instructions supplied by the i-cache per
+	// 1000 instructions (Table 1).
+	ICacheInstrsPerKI = Metric{"icache-instr/KI", pipeline.Result.ICacheInstrsPerKI}
+	// ICacheMissesPerKI is total i-cache misses per 1000 instructions,
+	// including preconstruction-induced ones (Table 2).
+	ICacheMissesPerKI = Metric{"icache-miss/KI", pipeline.Result.ICacheMissesPerKI}
+	// InstrsFromICMissesPerKI is instructions supplied under i-cache
+	// misses per 1000 instructions (Table 3).
+	InstrsFromICMissesPerKI = Metric{"icache-miss-instr/KI", pipeline.Result.InstrsFromICMissesPerKI}
+	// IPC is retired instructions per cycle (full timing runs).
+	IPC = Metric{"IPC", pipeline.Result.IPC}
+	// FetchSupplyPct is the percentage of committed instructions the
+	// slow path (i-cache) supplied rather than the trace cache or
+	// preconstruction buffers.
+	FetchSupplyPct = Metric{"fetch-supply-%", func(r pipeline.Result) float64 {
+		if r.Instructions == 0 {
+			return 0
+		}
+		return float64(r.SlowPathInstrs) * 100 / float64(r.Instructions)
+	}}
+	// PredAccuracy is the next-trace predictor's accuracy.
+	PredAccuracy = Metric{"pred-accuracy", func(r pipeline.Result) float64 {
+		return r.Pred.Accuracy()
+	}}
+)
+
+// SpeedupPct is the derived speedup-vs-baseline-cell metric: the
+// percent cycle-count speedup of cell over base for the same work.
+func SpeedupPct(base, over *Cell) float64 {
+	return stats.Speedup(base.Result.Cycles, over.Result.Cycles)
+}
+
+// ReductionPct is the percent reduction of a metric from base to over.
+func ReductionPct(m Metric, base, over *Cell) float64 {
+	return stats.Reduction(m.Of(base.Result), m.Of(over.Result))
+}

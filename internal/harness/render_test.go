@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tracepre/internal/stats"
+)
+
+func sampleSpecs() []TableSpec {
+	return []TableSpec{
+		{
+			Title:   "first",
+			Headers: []string{"bench", "miss/KI"},
+			Rows: [][]any{
+				{"compress", 12.345678},
+				{"li", 7.0},
+			},
+			BlankAfter: true,
+		},
+		{
+			Title:   "second",
+			Headers: []string{"k", "v"},
+			Rows:    [][]any{{"n", 3}},
+			Footer:  "VERDICT\n",
+		},
+	}
+}
+
+func TestRenderASCIIMatchesStatsTable(t *testing.T) {
+	specs := sampleSpecs()
+	want := func() string {
+		t1 := stats.NewTable("first", "bench", "miss/KI")
+		t1.AddRow("compress", 12.345678)
+		t1.AddRow("li", 7.0)
+		t2 := stats.NewTable("second", "k", "v")
+		t2.AddRow("n", 3)
+		return t1.String() + "\n" + t2.String() + "VERDICT\n"
+	}()
+	if got := RenderASCII(specs); got != want {
+		t.Errorf("RenderASCII mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	got := RenderCSV(sampleSpecs())
+	// Comment titles, full-precision floats (not the ASCII %.2f), and a
+	// blank line separating tables.
+	for _, w := range []string{"# first\n", "bench,miss/KI\ncompress,12.345678\nli,7\n",
+		"\n# second\nk,v\nn,3\n"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("CSV output missing %q:\n%s", w, got)
+		}
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	data, err := RenderJSON(sampleSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		Title   string   `json:"title"`
+		Headers []string `json:"headers"`
+		Rows    [][]any  `json:"rows"`
+		Footer  string   `json:"footer"`
+	}
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(tables) != 2 || tables[0].Title != "first" || tables[1].Footer != "VERDICT\n" {
+		t.Errorf("decoded %+v", tables)
+	}
+	if len(tables[0].Rows) != 2 || tables[0].Rows[0][1].(float64) != 12.345678 {
+		t.Errorf("rows lost precision: %+v", tables[0].Rows)
+	}
+	// Empty specs still produce a valid array with empty rows.
+	data, err = RenderJSON([]TableSpec{{Title: "empty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"rows": []`) {
+		t.Errorf("nil rows not normalized: %s", data)
+	}
+}

@@ -1,21 +1,24 @@
-package core
+package harness
 
 import (
 	"container/list"
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"tracepre/internal/emulator"
 	"tracepre/internal/pipeline"
 	"tracepre/internal/program"
+	"tracepre/internal/workload"
 )
 
 // replayEnabled gates record-once/replay-many execution. When on (the
-// default), RunBenchmark and the experiment sweeps record each
-// (benchmark, seed, budget) dynamic stream once and replay it to every
-// simulator configuration; when off, every run re-executes the
-// functional emulator directly. Both paths produce bit-identical
-// Results (asserted by TestReplayEquivalence).
+// default), RunBenchmark and Run record each (benchmark, seed, budget)
+// dynamic stream once and replay it to every simulator configuration;
+// when off, every run re-executes the functional emulator directly.
+// Both paths produce bit-identical Results (asserted by
+// TestReplayEquivalence).
 var replayEnabled atomic.Bool
 
 func init() { replayEnabled.Store(true) }
@@ -26,6 +29,49 @@ func SetReplay(on bool) bool { return replayEnabled.Swap(on) }
 
 // ReplayOn reports whether replay-based execution is enabled.
 func ReplayOn() bool { return replayEnabled.Load() }
+
+// imageKey identifies one generated benchmark program: generation is
+// deterministic, so name plus seed perturbation pins down the image.
+type imageKey struct {
+	name string
+	seed int64
+}
+
+// images memoizes generated benchmark programs: one image per
+// (benchmark, seed perturbation) serves every experiment. The mutex
+// makes ImageSeed safe for the concurrent sweep workers.
+var (
+	imagesMu sync.Mutex
+	images   = map[imageKey]*program.Image{}
+)
+
+// Image returns the (cached) unperturbed program image for a
+// benchmark. Images are immutable after generation and safe to share
+// across simulators.
+func Image(name string) (*program.Image, error) { return ImageSeed(name, 0) }
+
+// ImageSeed returns the (cached) program image for a benchmark with
+// the given generator-seed perturbation added to its profile seed
+// (0 = the profile default).
+func ImageSeed(name string, seed int64) (*program.Image, error) {
+	key := imageKey{name, seed}
+	imagesMu.Lock()
+	defer imagesMu.Unlock()
+	if im, ok := images[key]; ok {
+		return im, nil
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed += seed
+	im, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	images[key] = im
+	return im, nil
+}
 
 // DefaultStreamCacheCap bounds the stream cache's encoded bytes. At
 // well under 2 bytes per instruction even a 20M-instruction run stays
@@ -168,28 +214,49 @@ func runKeyed(im *program.Image, key streamKey, cfg pipeline.Config, budget uint
 	return sim.Run(budget)
 }
 
-// warmStreams records each benchmark's stream up front, in parallel,
-// so a sweep's fan-out replays from the start instead of serializing
-// behind the first worker to demand each stream. A no-op when replay
-// is disabled.
-func warmStreams(budget uint64, benches []string) error {
+// RunBenchmark simulates one benchmark (with an optional generator
+// seed perturbation) under the configuration for the given
+// committed-instruction budget, sharing recordings through the stream
+// cache when replay is enabled. This is the single-cell form of Run.
+func RunBenchmark(name string, seed int64, cfg pipeline.Config, budget uint64) (pipeline.Result, error) {
+	im, err := ImageSeed(name, seed)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	return runKeyed(im, streamKey{name: name, seed: seed, budget: budget}, cfg, budget)
+}
+
+// warmStreams records each (benchmark, seed) stream of the matrix up
+// front, in parallel, so the sweep fan-out replays from the start
+// instead of serializing behind the first worker to demand each
+// stream. A no-op when replay is disabled.
+func warmStreams(ctx context.Context, m Matrix) error {
 	if !ReplayOn() {
 		return nil
 	}
-	uniq := benches[:0:0]
-	seen := map[string]bool{}
-	for _, b := range benches {
-		if !seen[b] {
-			seen[b] = true
-			uniq = append(uniq, b)
+	type unit struct {
+		name string
+		seed int64
+	}
+	var units []unit
+	seen := map[unit]bool{}
+	for _, b := range m.Benches {
+		for _, s := range m.seeds() {
+			u := unit{b, s}
+			if !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
 		}
 	}
-	return runAll(len(uniq), func(i int) error {
-		im, err := Image(uniq[i])
+	return forEach(ctx, len(units), func(i int) error {
+		im, err := ImageSeed(units[i].name, units[i].seed)
 		if err != nil {
-			return err
+			return fmt.Errorf("harness: %s: %s: %w", m.Name, units[i].name, err)
 		}
-		_, err = streams.get(streamKey{name: uniq[i], budget: budget}, im)
-		return err
+		if _, err := streams.get(streamKey{name: units[i].name, seed: units[i].seed, budget: m.Budget}, im); err != nil {
+			return fmt.Errorf("harness: %s: %s: %w", m.Name, units[i].name, err)
+		}
+		return nil
 	})
 }

@@ -1,4 +1,4 @@
-package core
+package harness
 
 import (
 	"reflect"
@@ -7,6 +7,14 @@ import (
 	"tracepre/internal/pipeline"
 )
 
+const testBudget uint64 = 200_000
+
+func baseline(tc int) pipeline.Config { return pipeline.DefaultConfig().WithTraceCache(tc) }
+
+func precon(tc, pb int) pipeline.Config {
+	return pipeline.DefaultConfig().WithTraceCache(tc).WithPrecon(pb)
+}
+
 // TestReplayEquivalence asserts the determinism guarantee behind
 // record-once/replay-many: for every benchmark profile, a simulator
 // driven by a recorded-and-replayed stream produces a Result identical
@@ -14,14 +22,17 @@ import (
 // miss-rate machine and the full-timing preconstruction+preprocessing
 // machine.
 func TestReplayEquivalence(t *testing.T) {
+	timing := precon(128, 128)
+	timing.FullTiming = true
+	timing.PreprocEnabled = true
 	configs := []struct {
 		name string
 		cfg  pipeline.Config
 	}{
-		{"baseline", BaselineConfig(256)},
-		{"precon+timing", TimingConfig(PreconConfig(128, 128), true)},
+		{"baseline", baseline(256)},
+		{"precon+timing", timing},
 	}
-	for _, bench := range Benchmarks() {
+	for _, bench := range []string{"gcc", "go", "vortex", "perl", "li", "m88ksim", "ijpeg", "compress"} {
 		for _, c := range configs {
 			t.Run(bench+"/"+c.name, func(t *testing.T) {
 				t.Parallel()
@@ -29,11 +40,15 @@ func TestReplayEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				direct, err := RunImage(im, c.cfg, SmallBudget)
+				sim, err := pipeline.New(im, c.cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				replayed, err := runKeyed(im, streamKey{name: bench, budget: SmallBudget}, c.cfg, SmallBudget)
+				direct, err := sim.Run(testBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replayed, err := runKeyed(im, streamKey{name: bench, budget: testBudget}, c.cfg, testBudget)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -47,16 +62,16 @@ func TestReplayEquivalence(t *testing.T) {
 }
 
 // TestRunBenchmarkReplayToggle asserts both execution modes of the
-// public entry point agree.
+// single-cell entry point agree.
 func TestRunBenchmarkReplayToggle(t *testing.T) {
-	cfg := PreconConfig(128, 128)
+	cfg := precon(128, 128)
 	was := SetReplay(false)
-	direct, err := RunBenchmark("compress", cfg, SmallBudget)
+	direct, err := RunBenchmark("compress", 0, cfg, testBudget)
 	SetReplay(was)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, err := RunBenchmark("compress", cfg, SmallBudget)
+	replayed, err := RunBenchmark("compress", 0, cfg, testBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +115,10 @@ func TestStreamCacheLRU(t *testing.T) {
 func TestStreamCacheSharesRecordings(t *testing.T) {
 	ResetStreamCache()
 	defer ResetStreamCache()
-	if _, err := RunBenchmark("li", BaselineConfig(64), 20_000); err != nil {
+	if _, err := RunBenchmark("li", 0, baseline(64), 20_000); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunBenchmark("li", PreconConfig(64, 64), 20_000); err != nil {
+	if _, err := RunBenchmark("li", 0, precon(64, 64), 20_000); err != nil {
 		t.Fatal(err)
 	}
 	entries, bytes := StreamCacheStats()
@@ -112,5 +127,31 @@ func TestStreamCacheSharesRecordings(t *testing.T) {
 	}
 	if bytes <= 0 {
 		t.Errorf("cache reports %d bytes, want > 0", bytes)
+	}
+}
+
+// TestImageSeedCaching: one image per (benchmark, perturbation);
+// distinct perturbations are distinct programs.
+func TestImageSeedCaching(t *testing.T) {
+	a, err := ImageSeed("compress", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Image("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("seed-0 image not shared with Image")
+	}
+	p, err := ImageSeed("compress", 7919)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == a {
+		t.Error("perturbed image identical to unperturbed one")
+	}
+	if _, err := ImageSeed("nonesuch", 0); err == nil {
+		t.Error("unknown benchmark succeeded")
 	}
 }

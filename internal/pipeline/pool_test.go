@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"tracepre/internal/emulator"
+)
+
+// faultySource yields n instructions from an inner emulator, then
+// fails, modeling a source that dies mid-run.
+type faultySource struct {
+	inner emulator.Source
+	n     int
+	err   error
+}
+
+func (f *faultySource) Next() (emulator.Dyn, bool) {
+	if f.n <= 0 {
+		f.err = errors.New("source died")
+		return emulator.Dyn{}, false
+	}
+	f.n--
+	return f.inner.Next()
+}
+
+func (f *faultySource) Err() error { return f.err }
+
+// TestDispatchBufferBalance pins the pooled dispatch-buffer invariant:
+// every runSource path — normal completion, budget cutoff, a failing
+// source, and the ErrRunTwice guards (which must not borrow at all) —
+// leaves the pool balanced, with no buffer checked out.
+func TestDispatchBufferBalance(t *testing.T) {
+	im := loopImage(t, 50)
+	before := dynPoolOutstanding.Load()
+
+	// Normal completion and budget cutoff.
+	for _, budget := range []uint64{10_000, 100} {
+		if _, err := MustNew(im, DefaultConfig()).Run(budget); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Failing source: RunSource must return the buffer on the error path.
+	sim := MustNew(im, DefaultConfig())
+	if _, err := sim.RunSource(&faultySource{inner: emulator.New(im), n: 30}, 10_000); err == nil {
+		t.Fatal("faulty source did not error")
+	}
+
+	// ErrRunTwice on every entry point of an already-run simulator: the
+	// guard fires before any borrow, so the balance must not move.
+	st, err := emulator.Record(im, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(10_000); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("second Run = %v, want ErrRunTwice", err)
+	}
+	if _, err := sim.RunSource(emulator.New(im), 10_000); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("second RunSource = %v, want ErrRunTwice", err)
+	}
+	if _, err := sim.RunStream(st, 10_000); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("second RunStream = %v, want ErrRunTwice", err)
+	}
+
+	if after := dynPoolOutstanding.Load(); after != before {
+		t.Errorf("dispatch buffers outstanding: %d before, %d after — leaked %d",
+			before, after, after-before)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tracepre/internal/bpred"
 	"tracepre/internal/cache"
@@ -176,6 +177,28 @@ var dynPool = sync.Pool{
 	},
 }
 
+// dynPoolOutstanding balances borrowDyns against returnDyns. Every
+// runSource path — normal exhaustion, source error, budget cutoff —
+// must return its buffer, or concurrent sweeps slowly abandon pooled
+// capacity. The counter makes the invariant observable from tests.
+var dynPoolOutstanding atomic.Int64
+
+// borrowDyns checks a dispatch buffer out of the pool. Callers must
+// pair it with returnDyns on every path, including error returns.
+func borrowDyns() *[]emulator.Dyn {
+	dynPoolOutstanding.Add(1)
+	return dynPool.Get().(*[]emulator.Dyn)
+}
+
+// returnDyns resets and returns a borrowed dispatch buffer. dyns is the
+// caller's current (possibly regrown) slice so the pool keeps the
+// larger backing array.
+func returnDyns(bufp *[]emulator.Dyn, dyns []emulator.Dyn) {
+	*bufp = dyns[:0]
+	dynPool.Put(bufp)
+	dynPoolOutstanding.Add(-1)
+}
+
 // New builds a simulator for the image.
 func New(im *program.Image, cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
@@ -310,12 +333,9 @@ func (s *Simulator) RunStream(st *emulator.Stream, budget uint64) (Result, error
 func (s *Simulator) runSource(src emulator.Source, budget uint64) (Result, error) {
 	s.ran = true
 	seg := trace.NewSegmenter(s.cfg.Select)
-	bufp := dynPool.Get().(*[]emulator.Dyn)
+	bufp := borrowDyns()
 	dyns := (*bufp)[:0]
-	defer func() {
-		*bufp = dyns[:0]
-		dynPool.Put(bufp)
-	}()
+	defer func() { returnDyns(bufp, dyns) }()
 	var n uint64
 	for n < budget {
 		d, ok := src.Next()

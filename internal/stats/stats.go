@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -31,6 +32,39 @@ func Reduction(base, new float64) float64 {
 		return 0
 	}
 	return (base - new) / base * 100
+}
+
+// Summary holds descriptive statistics of a series.
+type Summary struct {
+	Mean float64
+	Std  float64 // sample standard deviation (n-1)
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes mean, sample standard deviation, minimum and
+// maximum of a non-empty series.
+func Summarize(xs []float64) Summary {
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	variance := 0.0
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if len(xs) > 1 {
+		variance /= float64(len(xs) - 1)
+	}
+	return Summary{Mean: mean, Std: math.Sqrt(variance), Min: min, Max: max}
 }
 
 // Bar renders a proportional ASCII bar of the given width.
