@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments fuzz ci clean
+.PHONY: all build vet lint test race bench bench-smoke experiments fuzz ci clean
 
 all: build vet test
 
@@ -34,6 +34,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of the hot-path microbenchmarks: not a measurement, a
+# CI canary that the benchmarks build and run (see BENCH_precon.json
+# for how to take real numbers).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Observe|RegionChurn|U32Set|LineSet|AddrIndex' \
+		-benchtime 1x -benchmem ./internal/precon/
 
 # Regenerate every paper table/figure plus the extension studies at the
 # full default budget (writes to stdout; takes a few minutes).

@@ -310,6 +310,52 @@ func BenchmarkFigure5Harness(b *testing.B) {
 	})
 }
 
+// BenchmarkFigure5Precon is the precon-dominated Figure 5 sweep: only
+// the preconstruction cells (PB > 0), run serially against a warm
+// stream cache so neither recording nor replay decoding is measured —
+// what remains is dominated by the preconstruction engine's
+// per-instruction and per-region work (BENCH_precon.json records the
+// before/after of the hot-path overhaul against this benchmark).
+func BenchmarkFigure5Precon(b *testing.B) {
+	benches := []string{"gcc", "go"}
+	type cell struct {
+		bench  string
+		tc, pb int
+	}
+	var cells []cell
+	for _, pb := range core.Figure5PBSizes {
+		if pb == 0 {
+			continue
+		}
+		for _, tc := range core.Figure5TCSizes {
+			if pb >= 256 && tc >= 1024 {
+				continue
+			}
+			for _, bench := range benches {
+				cells = append(cells, cell{bench, tc, pb})
+			}
+		}
+	}
+	was := core.SetReplay(true)
+	defer core.SetReplay(was)
+	// Warm the stream cache once so the sweep never records.
+	for _, bench := range benches {
+		if _, err := core.RunBenchmark(bench, core.PreconConfig(256, 256), benchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+	instrs := int64(len(cells)) * int64(benchBudget)
+	b.SetBytes(instrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			if _, err := core.RunBenchmark(c.bench, core.PreconConfig(c.tc, c.pb), benchBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"tracepre/internal/stats"
 )
 
 func smallMatrix() Matrix {
@@ -207,9 +209,60 @@ func TestMetrics(t *testing.T) {
 	}
 	_ = pre
 	for _, m := range []Metric{TCMissPerKI, ICacheInstrsPerKI, ICacheMissesPerKI,
-		InstrsFromICMissesPerKI, IPC, FetchSupplyPct, PredAccuracy} {
+		InstrsFromICMissesPerKI, IPC, FetchSupplyPct, PredAccuracy, PreconNsPerKI} {
 		if m.Name == "" || m.Fn == nil {
 			t.Errorf("incomplete metric %+v", m)
 		}
+	}
+}
+
+// TestPreconOverheadMetric runs a sweep with engine overhead timing on
+// and checks the measurement flows from the engine's counters through
+// the Result into the Metric and summary path: precon cells report a
+// positive overhead, baseline cells (no engine) report zero.
+func TestPreconOverheadMetric(t *testing.T) {
+	m := smallMatrix()
+	for i := range m.Points {
+		m.Points[i].Cfg.Precon.MeasureOverhead = true
+	}
+	g, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []float64
+	for _, c := range g.Cells {
+		v := PreconNsPerKI.Of(c.Result)
+		switch c.Point.Name {
+		case "precon":
+			if v <= 0 {
+				t.Errorf("%s/%s: precon-ns/KI = %f, want > 0 with MeasureOverhead", c.Bench, c.Point.Name, v)
+			}
+			if c.Result.Precon.ObserveNs == 0 || c.Result.Precon.StepNs == 0 {
+				t.Errorf("%s/%s: ObserveNs=%d StepNs=%d, both should be measured",
+					c.Bench, c.Point.Name, c.Result.Precon.ObserveNs, c.Result.Precon.StepNs)
+			}
+			series = append(series, v)
+		default:
+			if v != 0 {
+				t.Errorf("%s/%s: precon-ns/KI = %f, want 0 without an engine", c.Bench, c.Point.Name, v)
+			}
+		}
+	}
+	sum := stats.Summarize(series)
+	if sum.Mean <= 0 || sum.Min <= 0 {
+		t.Errorf("overhead summary %+v, want positive mean and min", sum)
+	}
+}
+
+// TestPreconOverheadOffByDefault: without MeasureOverhead the engine
+// must not pay for the clock reads, so the counters stay zero.
+func TestPreconOverheadOffByDefault(t *testing.T) {
+	g, err := Run(context.Background(), smallMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.MustCell("compress", "precon")
+	if ns := c.Result.Precon.EngineNs(); ns != 0 {
+		t.Errorf("EngineNs = %d without MeasureOverhead, want 0", ns)
 	}
 }

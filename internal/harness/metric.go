@@ -45,6 +45,13 @@ var (
 	PredAccuracy = Metric{"pred-accuracy", func(r pipeline.Result) float64 {
 		return r.Pred.Accuracy()
 	}}
+	// PreconNsPerKI is the preconstruction engine's measured wall-clock
+	// overhead in nanoseconds per 1000 committed instructions — the
+	// simulator-side cost of the engine, not a modeled quantity. It is
+	// nonzero only when the sweep sets precon.Config.MeasureOverhead.
+	PreconNsPerKI = Metric{"precon-ns/KI", func(r pipeline.Result) float64 {
+		return stats.PerKI(r.Precon.EngineNs(), r.Instructions)
+	}}
 )
 
 // SpeedupPct is the derived speedup-vs-baseline-cell metric: the

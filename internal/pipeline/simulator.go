@@ -487,15 +487,14 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 	}
 
 	// Grant the preconstruction engine the cycles the slow path sat
-	// idle, then let it observe the dispatch stream.
+	// idle, then let it observe the dispatch stream — one batched call
+	// per demanded trace, not one virtual call per instruction.
 	if s.eng != nil {
 		idle := int64(retire-prevRetire) - int64(slowBusy)
 		if idle > 0 {
 			s.eng.Step(int(idle))
 		}
-		for _, d := range dyns {
-			s.eng.Observe(d)
-		}
+		s.eng.ObserveBatch(dyns)
 	}
 
 	// Train the slow-path predictors from the resolved stream and the

@@ -45,6 +45,9 @@ func newConstructor(e *Engine) *constructor {
 
 // reset returns the constructor to idle.
 func (c *constructor) reset() {
+	if c.reg != nil {
+		c.reg.walkers--
+	}
 	c.reg = nil
 	c.prewalk = false
 	c.decisions = c.decisions[:0]
@@ -58,6 +61,7 @@ func (c *constructor) reset() {
 func (c *constructor) beginStart(r *region, start uint32) {
 	c.reset()
 	c.reg = r
+	r.walkers++
 	c.start = start
 	c.pc = start
 }
@@ -67,6 +71,7 @@ func (c *constructor) beginStart(r *region, start uint32) {
 func (c *constructor) beginPreWalk(r *region) {
 	c.reset()
 	c.reg = r
+	r.walkers++
 	c.prewalk = true
 	c.pc = r.start.Addr
 	c.pwSince = 0
@@ -165,7 +170,10 @@ func (c *constructor) walkStep() {
 	if !done {
 		return
 	}
-	tr := c.b.Finish(next)
+	// Seal, not Finish: the builder's trace is delivered borrowed, and
+	// deliver clones it only if it actually enters the buffers — most
+	// constructed traces are duplicates and never escape.
+	tr := c.b.Seal(next)
 	c.e.deliver(r, tr)
 	if c.reg == nil {
 		return // deliver terminated the region
@@ -257,8 +265,7 @@ func (c *constructor) preWalkStep() {
 		boundary = true
 	}
 	if boundary {
-		r.worklist = append(r.worklist, next)
-		r.seen[next] = true
+		r.pushWork(next)
 		c.reset()
 		return
 	}

@@ -1,0 +1,120 @@
+package precon
+
+import (
+	"strings"
+	"testing"
+
+	"tracepre/internal/bpred"
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+	"tracepre/internal/tracecache"
+)
+
+// newRigLines is newRig with a configurable i-cache line size, for the
+// prefetch-cache capacity tests.
+func newRigLines(t *testing.T, im *program.Image, cfg Config, icLine int) *rig {
+	t.Helper()
+	r := &rig{
+		im:  im,
+		bim: bpred.MustNewBimodal(4096),
+		ic:  cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: icLine, Assoc: 4}),
+		tc:  tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2}),
+		buf: tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2}),
+	}
+	eng, err := New(cfg, im, r.bim, r.ic, r.tc, r.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	return r
+}
+
+// straightLine builds a long run of ALU instructions so a region walk
+// fetches lines until the prefetch cache fills.
+func straightLine(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder(0x1000)
+	b.Label("start")
+	for i := 0; i < 400; i++ {
+		b.ALUI(isa.OpAddI, 1, 1, 1)
+	}
+	b.Halt()
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// exhaustLines drives one region to prefetch-cache exhaustion and
+// returns how many lines it fetched.
+func exhaustLines(t *testing.T, r *rig) uint64 {
+	t.Helper()
+	start, _ := r.im.Lookup("start")
+	r.eng.Observe(emulator.Dyn{PC: start - 4, Inst: isa.Inst{Op: isa.OpJal, Target: 0x9000}})
+	r.eng.Step(400)
+	st := r.eng.Stats()
+	if st.RegionsExhausted != 1 {
+		t.Fatalf("exhausted = %d; stats=%+v", st.RegionsExhausted, st)
+	}
+	return st.LinesFetched
+}
+
+// TestLineBytesTracksICache: with LineBytes unset, the prefetch-cache
+// line size follows the shared i-cache, so the same PrefetchInstrs
+// budget holds twice as many 32B lines as 64B lines.
+func TestLineBytesTracksICache(t *testing.T) {
+	im := straightLine(t)
+	cfg := DefaultConfig()
+	cfg.PrefetchInstrs = 32
+
+	r64 := newRigLines(t, im, cfg, 64)
+	if r64.eng.LineBytes() != 64 {
+		t.Fatalf("LineBytes() = %d with a 64B i-cache", r64.eng.LineBytes())
+	}
+	if got := exhaustLines(t, r64); got != 2 {
+		t.Errorf("64B lines: fetched %d, want 2 (32 instrs / 16 per line)", got)
+	}
+
+	r32 := newRigLines(t, im, cfg, 32)
+	if r32.eng.LineBytes() != 32 {
+		t.Fatalf("LineBytes() = %d with a 32B i-cache", r32.eng.LineBytes())
+	}
+	if got := exhaustLines(t, r32); got != 4 {
+		t.Errorf("32B lines: fetched %d, want 4 (32 instrs / 8 per line)", got)
+	}
+}
+
+// TestLineBytesOverride: an explicit Config.LineBytes wins over the
+// i-cache's line size.
+func TestLineBytesOverride(t *testing.T) {
+	im := straightLine(t)
+	cfg := DefaultConfig()
+	cfg.PrefetchInstrs = 32
+	cfg.LineBytes = 128
+	r := newRigLines(t, im, cfg, 64)
+	if r.eng.LineBytes() != 128 {
+		t.Fatalf("LineBytes() = %d, want configured 128", r.eng.LineBytes())
+	}
+	if got := exhaustLines(t, r); got != 1 {
+		t.Errorf("128B lines: fetched %d, want 1", got)
+	}
+}
+
+// TestLineBytesTooLargeForPrefetch: a prefetch cache smaller than one
+// line is a construction error, not a zero-capacity engine.
+func TestLineBytesTooLargeForPrefetch(t *testing.T) {
+	im := straightLine(t)
+	cfg := DefaultConfig()
+	cfg.PrefetchInstrs = 16
+	cfg.LineBytes = 128 // 16 instrs = 64 bytes < one line
+	_, err := New(cfg, im, bpred.MustNewBimodal(4096),
+		cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4}),
+		tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2}),
+		tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2}))
+	if err == nil || !strings.Contains(err.Error(), "smaller than one") {
+		t.Fatalf("New = %v, want prefetch-smaller-than-line error", err)
+	}
+}

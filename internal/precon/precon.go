@@ -28,10 +28,20 @@
 // branch to the next multiple-of-AlignMod boundary — and start
 // construction at that boundary, where the processor's next demanded
 // trace will begin.
+//
+// Because the engine monitors every dispatched instruction of every
+// simulated configuration, its constant factors multiply across entire
+// sweeps. The hot path is therefore allocation-free in the steady
+// state: the start-point stack is backed by an address index so the
+// per-instruction membership probe is O(1), regions (with their
+// open-addressed start-point sets and prefetch-line bitsets) are pooled
+// and reset rather than reallocated, and the dispatch stream arrives in
+// batches (ObserveBatch) rather than one call per instruction.
 package precon
 
 import (
 	"fmt"
+	"time"
 
 	"tracepre/internal/bpred"
 	"tracepre/internal/cache"
@@ -70,6 +80,19 @@ type Config struct {
 	StepInstrs         int // instructions a constructor advances per work unit
 	PreWalkCap         int // instruction budget for loop-exit boundary walk
 	CallStackDepth     int // constructor-internal call stack
+
+	// LineBytes is the prefetch-cache line size, which sets how many
+	// distinct lines a PrefetchInstrs-instruction prefetch cache holds.
+	// 0 (the default) derives it from the shared instruction cache the
+	// engine fetches through, so prefetch-cache capacity tracks
+	// non-64B-line experiments automatically.
+	LineBytes int
+
+	// MeasureOverhead times the engine's ObserveBatch and Step calls
+	// into Stats.ObserveNs/StepNs, letting sweeps report per-cell
+	// engine overhead without a profiler. Off by default: the clock
+	// reads cost a few percent of engine time.
+	MeasureOverhead bool
 
 	// ResolveIndirects is an extension beyond the paper: instead of
 	// abandoning a path at an indirect jump ("the target is unknown",
@@ -119,6 +142,9 @@ func (c Config) Validate() error {
 	if c.StepInstrs <= 0 || c.PreWalkCap <= 0 || c.CallStackDepth <= 0 {
 		return fmt.Errorf("precon: step/prewalk/callstack bounds")
 	}
+	if c.LineBytes < 0 || (c.LineBytes > 0 && c.LineBytes&(c.LineBytes-1) != 0) {
+		return fmt.Errorf("precon: LineBytes %d not a power of two", c.LineBytes)
+	}
 	return c.Select.Validate()
 }
 
@@ -150,10 +176,13 @@ type StartPoint struct {
 // stackEntry is a stacked start point plus its speculation mark: points
 // pushed from wrong-path dispatch are removed when the misprediction
 // resolves ("start points are removed from the stack if they
-// correspond to misspeculation", §3.2).
+// correspond to misspeculation", §3.2). Retired entries are
+// tombstoned (dead) rather than spliced out, so removal never shifts
+// the tail; compaction reclaims tombstones in bulk.
 type stackEntry struct {
 	StartPoint
 	spec bool
+	dead bool
 }
 
 // Stats counts engine activity.
@@ -176,7 +205,16 @@ type Stats struct {
 	ICacheMisses     uint64 // engine-induced instruction cache misses
 	PreWalkAborts    uint64
 	WorkUnits        uint64
+
+	// ObserveNs and StepNs accumulate wall-clock time spent in
+	// ObserveBatch and Step when Config.MeasureOverhead is set (0
+	// otherwise) — the engine's share of a cell's simulation cost.
+	ObserveNs uint64
+	StepNs    uint64
 }
+
+// EngineNs returns the total measured engine time (MeasureOverhead).
+func (s Stats) EngineNs() uint64 { return s.ObserveNs + s.StepNs }
 
 // Engine is the trace preconstruction unit.
 type Engine struct {
@@ -187,14 +225,29 @@ type Engine struct {
 	tc  TraceStore
 	buf BufferStore
 
+	// stack holds start points newest-last; entries retire by
+	// tombstone. stackLive counts non-dead entries and stackIdx
+	// indexes their addresses, so the per-instruction catch-up probe in
+	// Observe is a single hash lookup instead of a stack scan.
 	stack     []stackEntry
+	stackLive int
+	stackIdx  addrIndex
+
 	completed []uint32 // ring of recently completed region starts
 	compNext  int
 
-	regions   []*region
-	ctors     []*constructor
-	regionSeq uint64
-	stats     Stats
+	regions     []*region
+	activeCount int       // regions with active == true
+	freeList    []*region // completed regions awaiting reuse
+	ctors       []*constructor
+	regionSeq   uint64
+	stats       Stats
+
+	// lineBytes/lineShift/lineCap resolve Config.LineBytes (or the
+	// shared i-cache's line size) once, for the prefetch-line hot path.
+	lineBytes int
+	lineShift uint
+	lineCap   int
 
 	// fetchBudget is the number of prefetch-cache line fills remaining
 	// in the current work unit: the engine shares a single instruction
@@ -203,6 +256,8 @@ type Engine struct {
 
 	// traceHook, when set, observes every constructed trace with the
 	// start point of the region that built it (diagnostics, examples).
+	// The trace is borrowed: it is valid only for the duration of the
+	// call and must be Cloned to retain.
 	traceHook func(tr *trace.Trace, sp StartPoint)
 
 	// itb resolves indirect-jump targets when ResolveIndirects is on.
@@ -214,28 +269,45 @@ type Engine struct {
 func (e *Engine) SetTargetBuffer(tb *bpred.TargetBuffer) { e.itb = tb }
 
 // SetTraceHook installs an observer called for every trace the engine
-// constructs (including duplicates). Pass nil to remove it.
+// constructs (including duplicates). The trace is borrowed — valid only
+// during the call; Clone it to retain. Pass nil to remove the hook.
 func (e *Engine) SetTraceHook(fn func(tr *trace.Trace, sp StartPoint)) {
 	e.traceHook = fn
 }
 
 // region is one active preconstruction region (one prefetch cache plus
-// its worklist).
+// its worklist). Regions are pooled: completeRegion resets the sets and
+// returns the region to the engine's free list, so steady-state
+// activation allocates nothing.
 type region struct {
 	seq      uint64
 	start    StartPoint
 	worklist []uint32
-	seen     map[uint32]bool // trace start points already queued
-	lines    map[uint32]bool // prefetch cache contents (line addresses)
+	wlHead   int     // consumed prefix of worklist
+	seen     u32set  // trace start points already queued
+	lines    lineSet // prefetch cache contents (line addresses)
 	built    int
+	walkers  int // constructors currently working this region
 	active   bool
 	// prewalked is false for loop-exit regions until the boundary walk
 	// has produced the first trace start point.
 	prewalked bool
 }
 
-func (r *region) lineCap(cfg Config) int {
-	return cfg.PrefetchInstrs * isa.WordSize / 64
+// pending returns the number of unconsumed worklist entries.
+func (r *region) pending() int { return len(r.worklist) - r.wlHead }
+
+// pushWork queues a trace start point and marks it seen.
+func (r *region) pushWork(addr uint32) {
+	r.worklist = append(r.worklist, addr)
+	r.seen.add(addr)
+}
+
+// popWork consumes the oldest queued trace start point.
+func (r *region) popWork() uint32 {
+	v := r.worklist[r.wlHead]
+	r.wlHead++
+	return v
 }
 
 // New builds an engine sharing the image, bimodal predictor, instruction
@@ -244,6 +316,15 @@ func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 	tc TraceStore, buf BufferStore) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	lineBytes := cfg.LineBytes
+	if lineBytes == 0 {
+		lineBytes = ic.Config().LineBytes
+	}
+	lineCap := cfg.PrefetchInstrs * isa.WordSize / lineBytes
+	if lineCap <= 0 {
+		return nil, fmt.Errorf("precon: prefetch cache (%d instrs) smaller than one %dB line",
+			cfg.PrefetchInstrs, lineBytes)
 	}
 	e := &Engine{
 		cfg:       cfg,
@@ -255,6 +336,10 @@ func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 		completed: make([]uint32, cfg.CompletedSlots),
 		regions:   make([]*region, cfg.NumRegions),
 		ctors:     make([]*constructor, cfg.NumConstructors),
+		lineBytes: lineBytes,
+		lineCap:   lineCap,
+	}
+	for e.lineShift = 0; 1<<e.lineShift < lineBytes; e.lineShift++ {
 	}
 	for i := range e.ctors {
 		e.ctors[i] = newConstructor(e)
@@ -272,20 +357,74 @@ func MustNew(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 	return e
 }
 
+// LineBytes returns the resolved prefetch-cache line size.
+func (e *Engine) LineBytes() int { return e.lineBytes }
+
 // Observe monitors one dispatched-and-retiring instruction for region
 // start-point events: calls push their return address, taken backward
 // branches push their fall-through (the loop exit). Reaching a stacked
 // start point removes it.
 func (e *Engine) Observe(d emulator.Dyn) {
-	// Execution arriving at a stacked start point retires it.
+	e.observeOne(&d)
+}
+
+// ObserveBatch monitors a batch of dispatched-and-retiring
+// instructions, equivalent to calling Observe on each in order but
+// without the per-instruction call and copy overhead. The slice is the
+// natural dispatch unit (one demanded trace).
+func (e *Engine) ObserveBatch(dyns []emulator.Dyn) {
+	if e.cfg.MeasureOverhead {
+		t0 := time.Now()
+		for i := range dyns {
+			e.observeOne(&dyns[i])
+		}
+		e.stats.ObserveNs += uint64(time.Since(t0))
+		return
+	}
+	for i := range dyns {
+		e.observeOne(&dyns[i])
+	}
+}
+
+func (e *Engine) observeOne(d *emulator.Dyn) {
+	// Execution arriving at a stacked start point retires it. The
+	// address index rejects the no-match case — almost every
+	// instruction — with one probe.
+	if e.stackLive != 0 && e.stackIdx.contains(d.PC) {
+		e.retireStacked(d.PC)
+	}
+	e.observeEvents(d, false)
+}
+
+// retireStacked tombstones the newest live stack entry at addr.
+func (e *Engine) retireStacked(addr uint32) {
 	for i := len(e.stack) - 1; i >= 0; i-- {
-		if e.stack[i].Addr == d.PC {
-			e.stack = append(e.stack[:i], e.stack[i+1:]...)
+		en := &e.stack[i]
+		if !en.dead && en.Addr == addr {
+			en.dead = true
+			e.stackLive--
+			e.stackIdx.dec(addr)
 			e.stats.StackCaughtUp++
 			break
 		}
 	}
-	e.observeEvents(d, false)
+	e.compactStack()
+}
+
+// compactStack drops tombstones once they outnumber live entries,
+// preserving entry order.
+func (e *Engine) compactStack() {
+	dead := len(e.stack) - e.stackLive
+	if dead <= e.stackLive || dead == 0 {
+		return
+	}
+	kept := e.stack[:0]
+	for _, en := range e.stack {
+		if !en.dead {
+			kept = append(kept, en)
+		}
+	}
+	e.stack = kept
 }
 
 // ObserveSpeculative monitors a wrong-path dispatched instruction: its
@@ -293,7 +432,7 @@ func (e *Engine) Observe(d emulator.Dyn) {
 // marked and removed when FlushSpeculation reports the misprediction
 // resolved. Wrong-path instructions never retire entries.
 func (e *Engine) ObserveSpeculative(d emulator.Dyn) {
-	e.observeEvents(d, true)
+	e.observeEvents(&d, true)
 }
 
 // FlushSpeculation removes every speculative entry (mispredict
@@ -301,8 +440,13 @@ func (e *Engine) ObserveSpeculative(d emulator.Dyn) {
 func (e *Engine) FlushSpeculation() {
 	kept := e.stack[:0]
 	for _, en := range e.stack {
+		if en.dead {
+			continue
+		}
 		if en.spec {
 			e.stats.SpecFlushed++
+			e.stackIdx.dec(en.Addr)
+			e.stackLive--
 			continue
 		}
 		kept = append(kept, en)
@@ -310,36 +454,72 @@ func (e *Engine) FlushSpeculation() {
 	e.stack = kept
 }
 
-func (e *Engine) observeEvents(d emulator.Dyn, spec bool) {
-	switch {
-	case d.Inst.IsCall():
+func (e *Engine) observeEvents(d *emulator.Dyn, spec bool) {
+	// One opcode switch instead of IsCall + IsBackwardBranch predicate
+	// chains: this runs for every dispatched instruction.
+	switch d.Inst.Op {
+	case isa.OpJal, isa.OpJalr:
 		e.push(StartPoint{Addr: d.PC + isa.WordSize, Kind: ReturnPoint}, spec)
-	case d.Inst.IsBackwardBranch() && d.Taken:
-		e.push(StartPoint{Addr: d.PC + isa.WordSize, Kind: LoopExit}, spec)
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if d.Taken && d.Inst.Imm < 0 {
+			e.push(StartPoint{Addr: d.PC + isa.WordSize, Kind: LoopExit}, spec)
+		}
 	}
 }
 
 // push adds a start point, deduplicating against the top of the stack
 // and discarding the oldest entry on overflow.
 func (e *Engine) push(sp StartPoint, spec bool) {
-	if n := len(e.stack); n > 0 && e.stack[n-1].Addr == sp.Addr {
-		e.stats.StackDedups++
-		return
+	// Dedup against the newest live entry.
+	for i := len(e.stack) - 1; i >= 0; i-- {
+		if e.stack[i].dead {
+			continue
+		}
+		if e.stack[i].Addr == sp.Addr {
+			e.stats.StackDedups++
+			return
+		}
+		break
 	}
-	if len(e.stack) == e.cfg.StackDepth {
-		copy(e.stack, e.stack[1:])
-		e.stack = e.stack[:len(e.stack)-1]
+	if e.stackLive == e.cfg.StackDepth {
+		// Tombstone the oldest live entry.
+		for i := range e.stack {
+			if !e.stack[i].dead {
+				e.stack[i].dead = true
+				e.stackIdx.dec(e.stack[i].Addr)
+				e.stackLive--
+				break
+			}
+		}
 		e.stats.StackOverflows++
+		e.compactStack()
 	}
 	e.stack = append(e.stack, stackEntry{StartPoint: sp, spec: spec})
+	e.stackLive++
+	e.stackIdx.inc(sp.Addr)
 	e.stats.StackPushes++
 	if spec {
 		e.stats.SpecPushes++
 	}
 }
 
+// popStack removes and returns the newest live start point.
+func (e *Engine) popStack() (StartPoint, bool) {
+	for n := len(e.stack); n > 0; n = len(e.stack) {
+		en := e.stack[n-1]
+		e.stack = e.stack[:n-1]
+		if en.dead {
+			continue
+		}
+		e.stackLive--
+		e.stackIdx.dec(en.Addr)
+		return en.StartPoint, true
+	}
+	return StartPoint{}, false
+}
+
 // StackDepth returns the number of pending start points (for tests).
-func (e *Engine) StackDepth() int { return len(e.stack) }
+func (e *Engine) StackDepth() int { return e.stackLive }
 
 // OnDemandFetch notifies the engine that the processor is fetching a
 // trace starting at pc. If pc is one of a region's trace start points,
@@ -347,19 +527,22 @@ func (e *Engine) StackDepth() int { return len(e.stack) }
 // building its traces directly — and its preconstruction terminates.
 func (e *Engine) OnDemandFetch(pc uint32) {
 	for _, r := range e.regions {
-		if r != nil && r.active && (r.start.Addr == pc || r.seen[pc]) {
+		if r != nil && r.active && (r.start.Addr == pc || r.seen.has(pc)) {
 			e.completeRegion(r, &e.stats.RegionsCaughtUp)
 		}
 	}
 }
 
 // completeRegion retires a region, freeing its slot and remembering its
-// start so it is not immediately re-preconstructed.
+// start so it is not immediately re-preconstructed. The region's sets
+// are reset and the region returned to the pool for the next
+// activation.
 func (e *Engine) completeRegion(r *region, reason *uint64) {
 	if !r.active {
 		return
 	}
 	r.active = false
+	e.activeCount--
 	e.stats.RegionsCompleted++
 	if reason != nil {
 		*reason++
@@ -378,6 +561,11 @@ func (e *Engine) completeRegion(r *region, reason *uint64) {
 			e.regions[i] = nil
 		}
 	}
+	r.worklist = r.worklist[:0]
+	r.wlHead = 0
+	r.seen.reset()
+	r.lines.reset()
+	e.freeList = append(e.freeList, r)
 }
 
 func (e *Engine) recentlyCompleted(addr uint32) bool {
@@ -389,6 +577,20 @@ func (e *Engine) recentlyCompleted(addr uint32) bool {
 	return false
 }
 
+// newRegion takes a pooled region or allocates one with its sets sized
+// for this engine's image and line size.
+func (e *Engine) newRegion() *region {
+	if n := len(e.freeList); n > 0 {
+		r := e.freeList[n-1]
+		e.freeList = e.freeList[:n-1]
+		return r
+	}
+	r := &region{worklist: make([]uint32, 0, e.cfg.WorklistCap)}
+	r.seen.init(e.cfg.WorklistCap * 2)
+	r.lines.initLines(e.ic.LineAddr(e.im.Base), e.im.End(), e.lineShift)
+	return r
+}
+
 // activateRegions pops start points into free region slots.
 func (e *Engine) activateRegions() {
 	for i := range e.regions {
@@ -397,35 +599,36 @@ func (e *Engine) activateRegions() {
 		}
 		var sp StartPoint
 		ok := false
-		for len(e.stack) > 0 {
-			sp = e.stack[len(e.stack)-1].StartPoint
-			e.stack = e.stack[:len(e.stack)-1]
+		for {
+			sp, ok = e.popStack()
+			if !ok {
+				break
+			}
 			if e.recentlyCompleted(sp.Addr) {
 				e.stats.CompletedSkips++
+				ok = false
 				continue
 			}
 			if e.alreadyActive(sp.Addr) {
 				e.stats.CompletedSkips++
+				ok = false
 				continue
 			}
-			ok = true
 			break
 		}
 		if !ok {
 			return
 		}
 		e.regionSeq++
-		r := &region{
-			seq:       e.regionSeq,
-			start:     sp,
-			seen:      make(map[uint32]bool),
-			lines:     make(map[uint32]bool),
-			active:    true,
-			prewalked: sp.Kind == ReturnPoint,
-		}
+		r := e.newRegion()
+		r.seq = e.regionSeq
+		r.start = sp
+		r.built = 0
+		r.active = true
+		e.activeCount++
+		r.prewalked = sp.Kind == ReturnPoint
 		if sp.Kind == ReturnPoint {
-			r.worklist = append(r.worklist, sp.Addr)
-			r.seen[sp.Addr] = true
+			r.pushWork(sp.Addr)
 		}
 		e.regions[i] = r
 		e.stats.RegionsActivated++
@@ -447,10 +650,10 @@ func (e *Engine) alreadyActive(addr uint32) bool {
 // constructor stalls and retries next unit) or the prefetch cache is
 // full (which terminates the region).
 func (e *Engine) fetchLine(r *region, line uint32) bool {
-	if r.lines[line] {
+	if r.lines.has(line) {
 		return true
 	}
-	if len(r.lines) >= r.lineCap(e.cfg) {
+	if r.lines.len() >= e.lineCap {
 		e.completeRegion(r, &e.stats.RegionsExhausted)
 		return false
 	}
@@ -458,7 +661,7 @@ func (e *Engine) fetchLine(r *region, line uint32) bool {
 		return false
 	}
 	e.fetchBudget--
-	r.lines[line] = true
+	r.lines.add(line)
 	e.stats.LinesFetched++
 	if !e.ic.Access(line) {
 		e.stats.ICacheMisses++
@@ -468,7 +671,9 @@ func (e *Engine) fetchLine(r *region, line uint32) bool {
 
 // deliver disposes of a completed trace: drop if already cached, else
 // buffer it. A buffer rejection terminates the region (§3.1). It also
-// queues the trace's successor as a new start point (§2.1).
+// queues the trace's successor as a new start point (§2.1). tr is
+// borrowed from the constructor's builder; the insert path clones it
+// before it escapes into the buffers.
 func (e *Engine) deliver(r *region, tr *trace.Trace) {
 	e.stats.TracesBuilt++
 	r.built++
@@ -478,13 +683,12 @@ func (e *Engine) deliver(r *region, tr *trace.Trace) {
 	id := tr.ID()
 	if e.tc.Contains(id) || e.buf.Contains(id) {
 		e.stats.TracesDuplicate++
-	} else if !e.buf.Insert(tr, r.seq) {
+	} else if !e.buf.Insert(tr.Clone(), r.seq) {
 		e.completeRegion(r, &e.stats.RegionsBounded)
 		return
 	}
-	if tr.Succ != 0 && !r.seen[tr.Succ] && len(r.worklist) < e.cfg.WorklistCap {
-		r.worklist = append(r.worklist, tr.Succ)
-		r.seen[tr.Succ] = true
+	if tr.Succ != 0 && !r.seen.has(tr.Succ) && r.pending() < e.cfg.WorklistCap {
+		r.pushWork(tr.Succ)
 	}
 	if r.built >= e.cfg.MaxTracesPerRegion {
 		e.completeRegion(r, nil)
@@ -499,7 +703,7 @@ func (e *Engine) bestWorklist() *region {
 		if r == nil || !r.active {
 			continue
 		}
-		if len(r.worklist) == 0 && r.prewalked {
+		if r.pending() == 0 && r.prewalked {
 			continue
 		}
 		if best == nil || r.seq > best.seq {
@@ -514,7 +718,23 @@ func (e *Engine) bestWorklist() *region {
 // constructor advance up to StepInstrs instructions; line fetches happen
 // on demand through the shared port as constructors encounter them.
 func (e *Engine) Step(units int) {
+	if e.cfg.MeasureOverhead {
+		t0 := time.Now()
+		e.step(units)
+		e.stats.StepNs += uint64(time.Since(t0))
+		return
+	}
+	e.step(units)
+}
+
+func (e *Engine) step(units int) {
 	for u := 0; u < units; u++ {
+		// With no stacked start points, active regions or busy
+		// constructors, the remaining units are no-ops.
+		if e.quiet() {
+			e.stats.WorkUnits += uint64(units - u)
+			return
+		}
 		e.stats.WorkUnits++
 		e.fetchBudget = 1
 		e.activateRegions()
@@ -527,9 +747,7 @@ func (e *Engine) Step(units int) {
 				if !r.prewalked {
 					c.beginPreWalk(r)
 				} else {
-					start := r.worklist[0]
-					r.worklist = r.worklist[1:]
-					c.beginStart(r, start)
+					c.beginStart(r, r.popWork())
 				}
 			}
 			c.advance(e.cfg.StepInstrs)
@@ -538,44 +756,27 @@ func (e *Engine) Step(units int) {
 	}
 }
 
+// quiet reports whether a work unit would be a no-op. A busy
+// constructor always references an active region (completeRegion
+// resets its constructors), so two counters decide it.
+func (e *Engine) quiet() bool {
+	return e.stackLive == 0 && e.activeCount == 0
+}
+
 // retireQuiescent completes regions whose work is done: boundary located,
 // worklist drained, and no constructor still walking.
 func (e *Engine) retireQuiescent() {
 	for _, r := range e.regions {
-		if r == nil || !r.active || !r.prewalked || len(r.worklist) > 0 {
+		if r == nil || !r.active || !r.prewalked || r.pending() > 0 || r.walkers > 0 {
 			continue
 		}
-		busy := false
-		for _, c := range e.ctors {
-			if c.reg == r {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			e.completeRegion(r, nil)
-		}
+		e.completeRegion(r, nil)
 	}
 }
 
 // Idle reports whether the engine has no active regions, no stacked
 // start points, and no busy constructors (for tests and draining).
-func (e *Engine) Idle() bool {
-	if len(e.stack) > 0 {
-		return false
-	}
-	for _, r := range e.regions {
-		if r != nil && r.active {
-			return false
-		}
-	}
-	for _, c := range e.ctors {
-		if c.reg != nil {
-			return false
-		}
-	}
-	return true
-}
+func (e *Engine) Idle() bool { return e.quiet() }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }

@@ -114,6 +114,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.StepInstrs = 0 },
 		func(c *Config) { c.PreWalkCap = 0 },
 		func(c *Config) { c.CallStackDepth = 0 },
+		func(c *Config) { c.LineBytes = 3 },
+		func(c *Config) { c.LineBytes = -64 },
 		func(c *Config) { c.Select.MaxLen = 0 },
 	}
 	for i, m := range mutate {

@@ -1,0 +1,339 @@
+package precon
+
+// Hot-path membership structures. The engine tests set membership on
+// every dispatched instruction (the start-point stack) and on every
+// constructed instruction (prefetch-cache lines, queued trace start
+// points), so these paths use open-addressed tables and bitsets instead
+// of Go maps: no hashing interface, no write barriers, no per-region
+// allocation once warm. All of them reset in O(live entries) so pooled
+// regions reuse them without reallocating.
+
+// u32set is an open-addressed hash set of uint32 keys with linear
+// probing. Slots store key+1 so 0 can mark empty; the two keys that
+// collide with that encoding (0, whose slot value is 1 but which should
+// stay off the common probe path, and 0xFFFFFFFF, whose k+1 wraps to
+// the empty marker) live in side flags. The table grows at 3/4 load and
+// is never shrunk, so a pooled set stops allocating once it has seen
+// its high-water mark.
+type u32set struct {
+	tab     []uint32 // occupied slots hold key+1; 0 = empty
+	mask    uint32
+	n       int
+	hasZero bool
+	hasMax  bool
+}
+
+const u32setMinCap = 16
+
+func (s *u32set) init(capacity int) {
+	size := u32setMinCap
+	for size*3 < capacity*4 { // hold capacity at <= 3/4 load
+		size *= 2
+	}
+	s.tab = make([]uint32, size)
+	s.mask = uint32(size - 1)
+	s.n = 0
+	s.hasZero = false
+	s.hasMax = false
+}
+
+// hashU32 is a Fibonacci-multiply hash: one multiply plus a fold of the
+// high bits into the low bits the tables index with. It runs on every
+// dispatched instruction (the stack's address index), so it trades a
+// little mixing quality — fine at these load factors — for latency.
+func hashU32(k uint32) uint32 {
+	h := k * 0x9E3779B9
+	return h ^ h>>16
+}
+
+// has reports membership.
+func (s *u32set) has(k uint32) bool {
+	if k+1 <= 1 { // 0 or 0xFFFFFFFF: side flags
+		if k == 0 {
+			return s.hasZero
+		}
+		return s.hasMax
+	}
+	if s.tab == nil {
+		return false
+	}
+	for i := hashU32(k) & s.mask; ; i = (i + 1) & s.mask {
+		v := s.tab[i]
+		if v == 0 {
+			return false
+		}
+		if v == k+1 {
+			return true
+		}
+	}
+}
+
+// add inserts k and reports whether it was newly added.
+func (s *u32set) add(k uint32) bool {
+	if k+1 <= 1 {
+		if k == 0 {
+			if s.hasZero {
+				return false
+			}
+			s.hasZero = true
+		} else {
+			if s.hasMax {
+				return false
+			}
+			s.hasMax = true
+		}
+		s.n++
+		return true
+	}
+	if s.tab == nil {
+		// Allocate lazily without init(): the zero key may already be
+		// present via the side flag, which init would clear.
+		s.tab = make([]uint32, u32setMinCap)
+		s.mask = u32setMinCap - 1
+	}
+	for i := hashU32(k) & s.mask; ; i = (i + 1) & s.mask {
+		v := s.tab[i]
+		if v == k+1 {
+			return false
+		}
+		if v == 0 {
+			s.tab[i] = k + 1
+			s.n++
+			if s.n*4 >= len(s.tab)*3 {
+				s.grow()
+			}
+			return true
+		}
+	}
+}
+
+func (s *u32set) grow() {
+	old := s.tab
+	s.tab = make([]uint32, len(old)*2)
+	s.mask = uint32(len(s.tab) - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		k := v - 1
+		for i := hashU32(k) & s.mask; ; i = (i + 1) & s.mask {
+			if s.tab[i] == 0 {
+				s.tab[i] = v
+				break
+			}
+		}
+	}
+}
+
+// len returns the number of members.
+func (s *u32set) len() int { return s.n }
+
+// reset empties the set, keeping its capacity.
+func (s *u32set) reset() {
+	if s.n == 0 {
+		return
+	}
+	clear(s.tab)
+	s.n = 0
+	s.hasZero = false
+	s.hasMax = false
+}
+
+// lineSet tracks a region's prefetch-cache contents at line granularity.
+// Lines inside the program image — the overwhelmingly common case — live
+// in a bitset indexed by (lineAddr-base)>>shift; a walk that strays
+// outside the image (abandoned on the next im.At) spills into a small
+// u32set. Reset clears only the words touched since the last reset, so a
+// pooled region's lineSet is O(lines fetched), not O(image size).
+type lineSet struct {
+	base    uint32 // line-aligned address of the first image line
+	limit   uint32 // one past the last covered address
+	shift   uint   // log2(line size)
+	words   []uint64
+	touched []int32 // indices of words made nonzero since reset
+	spill   u32set
+	n       int
+}
+
+// initLines sizes the bitset for addresses in [base, end) with the given
+// line-size shift.
+func (s *lineSet) initLines(base, end uint32, shift uint) {
+	s.base = base &^ (1<<shift - 1)
+	s.limit = end
+	s.shift = shift
+	numLines := int((end-s.base)>>shift) + 1
+	s.words = make([]uint64, (numLines+63)/64)
+	s.touched = make([]int32, 0, 16)
+}
+
+// has reports whether line is in the set.
+func (s *lineSet) has(line uint32) bool {
+	if line >= s.base && line < s.limit {
+		idx := (line - s.base) >> s.shift
+		return s.words[idx>>6]&(1<<(idx&63)) != 0
+	}
+	return s.spill.has(line)
+}
+
+// add inserts line (which must not be present) into the set.
+func (s *lineSet) add(line uint32) {
+	if line >= s.base && line < s.limit {
+		idx := (line - s.base) >> s.shift
+		w := idx >> 6
+		if s.words[w] == 0 {
+			s.touched = append(s.touched, int32(w))
+		}
+		s.words[w] |= 1 << (idx & 63)
+	} else {
+		s.spill.add(line)
+	}
+	s.n++
+}
+
+// len returns the number of lines in the set.
+func (s *lineSet) len() int { return s.n }
+
+// reset empties the set, clearing only the touched bitset words.
+func (s *lineSet) reset() {
+	for _, w := range s.touched {
+		s.words[w] = 0
+	}
+	s.touched = s.touched[:0]
+	s.spill.reset()
+	s.n = 0
+}
+
+// addrIndex is an open-addressed multiset of addresses: it counts how
+// many live stack entries carry each address, so Observe can reject the
+// common no-match case with one probe instead of scanning the stack.
+// Slots whose count has dropped to zero keep their key (open addressing
+// cannot unlink mid-chain); rebuild() reclaims them when zombies would
+// otherwise crowd the table.
+type addrIndex struct {
+	keys []uint32
+	cnts []uint16
+	mask uint32
+	used int // occupied slots, including count-zero zombies
+	live int // keys with count > 0
+
+	// spareK/spareC hold the previous table across a same-size rebuild,
+	// so steady-state zombie reclamation allocates nothing.
+	spareK []uint32
+	spareC []uint16
+}
+
+// addrIndexEmpty marks an empty slot; real start-point addresses are
+// word-aligned, so this unaligned value never collides with one.
+const addrIndexEmpty = 0xFFFFFFFF
+
+func (x *addrIndex) init(capacity int) {
+	size := u32setMinCap
+	for size*3 < capacity*4 {
+		size *= 2
+	}
+	x.keys = make([]uint32, size)
+	x.cnts = make([]uint16, size)
+	for i := range x.keys {
+		x.keys[i] = addrIndexEmpty
+	}
+	x.mask = uint32(size - 1)
+	x.used = 0
+	x.live = 0
+}
+
+// contains reports whether any live entry carries addr.
+func (x *addrIndex) contains(addr uint32) bool {
+	if x.keys == nil {
+		return false
+	}
+	for i := hashU32(addr) & x.mask; ; i = (i + 1) & x.mask {
+		k := x.keys[i]
+		if k == addrIndexEmpty {
+			return false
+		}
+		if k == addr {
+			return x.cnts[i] > 0
+		}
+	}
+}
+
+// inc counts one more live entry at addr.
+func (x *addrIndex) inc(addr uint32) {
+	if x.keys == nil {
+		x.init(u32setMinCap)
+	}
+	for i := hashU32(addr) & x.mask; ; i = (i + 1) & x.mask {
+		k := x.keys[i]
+		if k == addr {
+			if x.cnts[i] == 0 {
+				x.live++
+			}
+			x.cnts[i]++
+			return
+		}
+		if k == addrIndexEmpty {
+			x.keys[i] = addr
+			x.cnts[i] = 1
+			x.used++
+			x.live++
+			if x.used*4 >= len(x.keys)*3 {
+				x.rebuild()
+			}
+			return
+		}
+	}
+}
+
+// dec counts one fewer live entry at addr (which must be present).
+func (x *addrIndex) dec(addr uint32) {
+	for i := hashU32(addr) & x.mask; ; i = (i + 1) & x.mask {
+		if x.keys[i] == addr {
+			x.cnts[i]--
+			if x.cnts[i] == 0 {
+				x.live--
+			}
+			return
+		}
+	}
+}
+
+// rebuild rehashes live keys into a table sized for them, dropping
+// count-zero zombies. Called when the table passes 3/4 occupancy; the
+// stack holds at most StackDepth live entries, so this keeps the table
+// small and bounds probe chains.
+func (x *addrIndex) rebuild() {
+	keys, cnts := x.keys, x.cnts
+	size := u32setMinCap
+	for size*3 < x.live*4*2 { // live entries at <= 3/8 load post-rebuild
+		size *= 2
+	}
+	if size < len(keys) {
+		size = len(keys) // never shrink: reuse the larger table next time
+	}
+	if len(x.spareK) == size {
+		x.keys, x.cnts = x.spareK, x.spareC
+		clear(x.cnts)
+	} else {
+		x.keys = make([]uint32, size)
+		x.cnts = make([]uint16, size)
+	}
+	x.spareK, x.spareC = keys, cnts
+	for i := range x.keys {
+		x.keys[i] = addrIndexEmpty
+	}
+	x.mask = uint32(size - 1)
+	x.used = 0
+	for i, k := range keys {
+		if k == addrIndexEmpty || cnts[i] == 0 {
+			continue
+		}
+		for j := hashU32(k) & x.mask; ; j = (j + 1) & x.mask {
+			if x.keys[j] == addrIndexEmpty {
+				x.keys[j] = k
+				x.cnts[j] = cnts[i]
+				x.used++
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package precon
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// The hot-path sets replace map[uint32]bool; these tests pin them to the
+// map semantics under randomized operation sequences, across multiple
+// reset rounds (the pooled-region lifecycle), with operation order
+// varied so nothing depends on insertion order.
+
+func TestU32SetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s u32set
+	s.init(8)
+	for round := 0; round < 5; round++ {
+		ref := make(map[uint32]bool)
+		for op := 0; op < 4000; op++ {
+			// Small key space forces duplicate adds; include 0 (the
+			// side-flag key) and large keys.
+			k := uint32(rng.Intn(256))
+			if rng.Intn(16) == 0 {
+				k = rng.Uint32()
+			}
+			switch rng.Intn(3) {
+			case 0:
+				added := s.add(k)
+				if added == ref[k] {
+					t.Fatalf("round %d: add(%#x) = %v, ref has %v", round, k, added, ref[k])
+				}
+				ref[k] = true
+			default:
+				if got, want := s.has(k), ref[k]; got != want {
+					t.Fatalf("round %d: has(%#x) = %v, want %v", round, k, got, want)
+				}
+			}
+			if s.len() != len(ref) {
+				t.Fatalf("round %d: len %d, ref %d", round, s.len(), len(ref))
+			}
+		}
+		// Every reference key must be present regardless of the order it
+		// arrived in.
+		for k := range ref {
+			if !s.has(k) {
+				t.Fatalf("round %d: lost key %#x", round, k)
+			}
+		}
+		s.reset()
+		if s.len() != 0 || s.has(0) || s.has(42) {
+			t.Fatalf("round %d: reset left members behind", round)
+		}
+	}
+}
+
+func TestU32SetZeroValue(t *testing.T) {
+	// The zero-value set works without init: has on empty, add grows it.
+	var s u32set
+	if s.has(7) || s.has(0) {
+		t.Fatal("zero-value set reports members")
+	}
+	if !s.add(7) || !s.add(0) || s.add(7) {
+		t.Fatal("zero-value add sequence wrong")
+	}
+	if !s.has(7) || !s.has(0) || s.len() != 2 {
+		t.Fatal("zero-value set lost members")
+	}
+}
+
+func TestU32SetGrowth(t *testing.T) {
+	var s u32set
+	s.init(4)
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		s.add(i * 4096) // stride collisions stress probing
+	}
+	if s.len() != n {
+		t.Fatalf("len %d after %d inserts", s.len(), n)
+	}
+	for i := uint32(0); i < n; i++ {
+		if !s.has(i * 4096) {
+			t.Fatalf("lost %#x after growth", i*4096)
+		}
+		if s.has(i*4096 + 1) {
+			t.Fatalf("phantom %#x", i*4096+1)
+		}
+	}
+}
+
+func TestLineSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const base, end = 0x1000, 0x9000
+	var s lineSet
+	s.initLines(base, end, 6)
+	for round := 0; round < 5; round++ {
+		ref := make(map[uint32]bool)
+		for op := 0; op < 2000; op++ {
+			line := (base + uint32(rng.Intn((end-base)/64))*64)
+			if rng.Intn(8) == 0 {
+				// Out-of-image line: exercises the spill set.
+				line = uint32(rng.Intn(0x1000)) &^ 63
+				if rng.Intn(2) == 0 {
+					line = end + uint32(rng.Intn(0x1000))&^63
+				}
+			}
+			if got, want := s.has(line), ref[line]; got != want {
+				t.Fatalf("round %d: has(%#x) = %v, want %v", round, line, got, want)
+			}
+			if !ref[line] && rng.Intn(2) == 0 {
+				s.add(line)
+				ref[line] = true
+			}
+			if s.len() != len(ref) {
+				t.Fatalf("round %d: len %d, ref %d", round, s.len(), len(ref))
+			}
+		}
+		for line := range ref {
+			if !s.has(line) {
+				t.Fatalf("round %d: lost line %#x", round, line)
+			}
+		}
+		s.reset()
+		if s.len() != 0 {
+			t.Fatalf("round %d: reset left %d lines", round, s.len())
+		}
+		for line := range ref {
+			if s.has(line) {
+				t.Fatalf("round %d: reset left line %#x", round, line)
+			}
+		}
+	}
+}
+
+func TestLineSetBoundaries(t *testing.T) {
+	// First and last in-image lines use the bitset; one line either side
+	// spills.
+	var s lineSet
+	s.initLines(0x40, 0x200, 6)
+	for _, line := range []uint32{0x40, 0x1c0, 0x0, 0x200} {
+		if s.has(line) {
+			t.Fatalf("empty set has %#x", line)
+		}
+		s.add(line)
+		if !s.has(line) {
+			t.Fatalf("added line %#x missing", line)
+		}
+	}
+	if s.len() != 4 {
+		t.Fatalf("len %d, want 4", s.len())
+	}
+	if s.spill.len() != 2 {
+		t.Fatalf("spill holds %d lines, want 2 (0x0 and 0x200)", s.spill.len())
+	}
+}
+
+func TestAddrIndexMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x addrIndex
+	ref := make(map[uint32]int)
+	var live []uint32 // multiset of addresses with ref count > 0
+	for op := 0; op < 20000; op++ {
+		// Word-aligned addresses, as the stack guarantees.
+		a := uint32(rng.Intn(64)) * 4
+		switch {
+		case rng.Intn(3) > 0 || len(live) == 0:
+			x.inc(a)
+			ref[a]++
+			live = append(live, a)
+		default:
+			i := rng.Intn(len(live))
+			a = live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			x.dec(a)
+			ref[a]--
+		}
+		if got, want := x.contains(a), ref[a] > 0; got != want {
+			t.Fatalf("op %d: contains(%#x) = %v, ref count %d", op, a, got, ref[a])
+		}
+	}
+	for a, n := range ref {
+		if got, want := x.contains(a), n > 0; got != want {
+			t.Fatalf("contains(%#x) = %v, ref count %d", a, got, n)
+		}
+	}
+}
+
+func TestAddrIndexRebuildReclaimsZombies(t *testing.T) {
+	// Cycle many distinct addresses through a bounded live set, as the
+	// start-point stack does: without rebuild the table would fill with
+	// count-zero zombies and probes would never terminate.
+	var x addrIndex
+	const window = 16
+	for i := uint32(0); i < 100000; i++ {
+		a := 0x1000 + i*4
+		x.inc(a)
+		if i >= window {
+			x.dec(0x1000 + (i-window)*4)
+		}
+	}
+	if len(x.keys) > 4096 {
+		t.Fatalf("table grew to %d slots despite %d live entries", len(x.keys), window)
+	}
+	for i := uint32(100000 - window); i < 100000; i++ {
+		if !x.contains(0x1000 + i*4) {
+			t.Fatalf("live entry %#x lost across rebuilds", 0x1000+i*4)
+		}
+	}
+	if x.contains(0x1000) {
+		t.Fatal("retired entry still reported live")
+	}
+}
+
+// FuzzU32Set drives a u32set and a map reference with an op stream
+// decoded from fuzz input: each 5-byte record is an opcode byte (add /
+// has / reset) plus a little-endian key.
+func FuzzU32Set(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 1, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 2, 0, 0, 0, 0})
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 0, 0xfe, 0xff, 0xff, 0xff, 2})
+	seed := make([]byte, 0, 5*64)
+	for i := 0; i < 64; i++ {
+		seed = append(seed, byte(i%3), byte(i), byte(i%7), 0, 0)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s u32set
+		ref := make(map[uint32]bool)
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			var k uint32
+			if len(data) >= 4 {
+				k = binary.LittleEndian.Uint32(data)
+				data = data[4:]
+			}
+			switch op % 3 {
+			case 0:
+				if added := s.add(k); added != !ref[k] {
+					t.Fatalf("add(%#x) = %v with ref %v", k, added, ref[k])
+				}
+				ref[k] = true
+			case 1:
+				if got := s.has(k); got != ref[k] {
+					t.Fatalf("has(%#x) = %v, want %v", k, got, ref[k])
+				}
+			case 2:
+				s.reset()
+				ref = make(map[uint32]bool)
+			}
+			if s.len() != len(ref) {
+				t.Fatalf("len %d, ref %d", s.len(), len(ref))
+			}
+		}
+	})
+}
+
+// FuzzLineSet mirrors FuzzU32Set for the bitset-plus-spill line set,
+// fixing an image window so in-range and spilled lines both occur.
+func FuzzLineSet(f *testing.F) {
+	f.Add([]byte{0, 0x40, 0x00, 0, 0, 1, 0x40, 0x00, 0, 0})
+	f.Add([]byte{0, 0x00, 0x10, 0, 0, 2, 0, 0x00, 0x10, 0, 0})
+	f.Add([]byte{0, 0xc0, 0xff, 0xff, 0xff, 1, 0xc0, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s lineSet
+		s.initLines(0x1000, 0x3000, 6)
+		ref := make(map[uint32]bool)
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			var line uint32
+			if len(data) >= 4 {
+				line = binary.LittleEndian.Uint32(data) &^ 63
+				data = data[4:]
+			}
+			switch op % 3 {
+			case 0:
+				if !ref[line] { // add requires absence, like fetchLine
+					s.add(line)
+					ref[line] = true
+				}
+			case 1:
+				if got := s.has(line); got != ref[line] {
+					t.Fatalf("has(%#x) = %v, want %v", line, got, ref[line])
+				}
+			case 2:
+				s.reset()
+				ref = make(map[uint32]bool)
+			}
+			if s.len() != len(ref) {
+				t.Fatalf("len %d, ref %d", s.len(), len(ref))
+			}
+		}
+	})
+}
