@@ -37,10 +37,15 @@ bench:
 
 # One iteration of the hot-path microbenchmarks: not a measurement, a
 # CI canary that the benchmarks build and run (see BENCH_precon.json
-# for how to take real numbers).
+# and BENCH_interning.json for how to take real numbers). The trace
+# store's steady-state allocation contract runs here too: the test
+# fails if an intern/release round allocates at all.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Observe|RegionChurn|U32Set|LineSet|AddrIndex' \
 		-benchtime 1x -benchmem ./internal/precon/
+	$(GO) test -run '^$$' -bench 'InternHit|InternChurn|Clone' \
+		-benchtime 1x -benchmem ./internal/trace/
+	$(GO) test -run TestInternSteadyStateAllocs -count 1 ./internal/trace/
 
 # Regenerate every paper table/figure plus the extension studies at the
 # full default budget (writes to stdout; takes a few minutes).

@@ -48,6 +48,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit structured JSON (shorthand for -format json)")
 		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
 		progress   = flag.Bool("progress", false, "report sweep progress (done/total, elapsed, ETA) on stderr")
+		jobs       = flag.Int("j", 0, "max concurrent sweep cells (0: one per CPU)")
 		replay     = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -86,6 +87,13 @@ func main() {
 	// cells and every in-flight experiment returns promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *jobs < 0 {
+		fail(fmt.Errorf("-j %d: worker count cannot be negative", *jobs))
+	}
+	if *jobs > 0 {
+		ctx = harness.ContextWithWorkers(ctx, *jobs)
+	}
 
 	if *progress {
 		ctx = harness.ContextWithProgress(ctx, func(p harness.Progress) {

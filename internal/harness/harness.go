@@ -159,12 +159,20 @@ type Option func(*runOptions)
 
 type runOptions struct {
 	progress ProgressFunc
+	workers  int
 }
 
 // WithProgress registers a progress callback: one call after stream
 // warming (Done == 0) and one per completed cell.
 func WithProgress(fn ProgressFunc) Option {
 	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithWorkers bounds the sweep fan-out to n concurrent cells (and n
+// concurrent stream recordings during warming). n <= 0 restores the
+// default, one worker per CPU (runtime.GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *runOptions) { o.workers = n }
 }
 
 // progressCtxKey carries a ProgressFunc through a context, so callers
@@ -177,6 +185,18 @@ type progressCtxKey struct{}
 // to fn for every harness.Run executed under it.
 func ContextWithProgress(ctx context.Context, fn ProgressFunc) context.Context {
 	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+// workersCtxKey carries a worker bound through a context, mirroring
+// progressCtxKey: drivers like cmd/tablegen's -j flag set it once and
+// every sweep they execute inherits it.
+type workersCtxKey struct{}
+
+// ContextWithWorkers returns a context under which every harness.Run
+// bounds its fan-out to n workers (n <= 0: one per CPU). An explicit
+// WithWorkers option wins over the context value.
+func ContextWithWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, workersCtxKey{}, n)
 }
 
 // Run executes the matrix: it records (or reuses) each benchmark's
@@ -195,6 +215,11 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 	if o.progress == nil {
 		if fn, ok := ctx.Value(progressCtxKey{}).(ProgressFunc); ok {
 			o.progress = fn
+		}
+	}
+	if o.workers <= 0 {
+		if n, ok := ctx.Value(workersCtxKey{}).(int); ok {
+			o.workers = n
 		}
 	}
 
@@ -230,12 +255,12 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 		o.progress(p)
 	}
 
-	if err := warmStreams(ctx, m); err != nil {
+	if err := warmStreams(ctx, m, o.workers); err != nil {
 		return nil, err
 	}
 	report()
 
-	err := forEach(ctx, len(g.Cells), func(i int) error {
+	err := forEach(ctx, len(g.Cells), o.workers, func(i int) error {
 		c := &g.Cells[i]
 		im, err := ImageSeed(c.Bench, c.Seed)
 		if err != nil {
@@ -258,13 +283,15 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 	return g, nil
 }
 
-// forEach executes n independent jobs with bounded parallelism (one
-// worker per CPU), preserving job indices so callers keep results
-// ordered. The first job error wins but all dispatched jobs complete;
-// cancelling ctx stops dispatch promptly and ctx.Err() is returned
-// when no job failed first.
-func forEach(ctx context.Context, n int, job func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+// forEach executes n independent jobs with bounded parallelism
+// (workers <= 0: one worker per CPU), preserving job indices so callers
+// keep results ordered. The first job error wins but all dispatched
+// jobs complete; cancelling ctx stops dispatch promptly and ctx.Err()
+// is returned when no job failed first.
+func forEach(ctx context.Context, n, workers int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -230,7 +230,7 @@ func RunBenchmark(name string, seed int64, cfg pipeline.Config, budget uint64) (
 // front, in parallel, so the sweep fan-out replays from the start
 // instead of serializing behind the first worker to demand each
 // stream. A no-op when replay is disabled.
-func warmStreams(ctx context.Context, m Matrix) error {
+func warmStreams(ctx context.Context, m Matrix, workers int) error {
 	if !ReplayOn() {
 		return nil
 	}
@@ -249,7 +249,7 @@ func warmStreams(ctx context.Context, m Matrix) error {
 			}
 		}
 	}
-	return forEach(ctx, len(units), func(i int) error {
+	return forEach(ctx, len(units), workers, func(i int) error {
 		im, err := ImageSeed(units[i].name, units[i].seed)
 		if err != nil {
 			return fmt.Errorf("harness: %s: %s: %w", m.Name, units[i].name, err)

@@ -56,6 +56,10 @@ type Result struct {
 
 	Pred   tpred.Stats
 	Precon precon.Stats
+
+	// Intern reports trace-store activity: intern hit rate, live and
+	// limbo residency, slab footprint (see trace.StoreStats).
+	Intern trace.StoreStats
 }
 
 // WindowStat is one measurement window of a run.
@@ -139,9 +143,12 @@ type Simulator struct {
 	cfg Config
 	im  *program.Image
 
-	tc   traceCacheView
-	buf  bufferView
-	adpt *tracecache.Adaptive // non-nil when Config.AdaptivePartition
+	tc    traceCacheView
+	buf   bufferView
+	tcc   *tracecache.TraceCache // non-nil in the split design
+	bufc  *tracecache.Buffers    // non-nil in the split design with precon
+	adpt  *tracecache.Adaptive   // non-nil when Config.AdaptivePartition
+	store *trace.Store           // interned trace storage, shared by tc/buf/eng
 	ic   *cache.Cache
 	dc   *cache.Cache
 	bim  *bpred.Bimodal
@@ -204,7 +211,7 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, im: im}
+	s := &Simulator{cfg: cfg, im: im, store: trace.NewStore()}
 	var err error
 	if cfg.AdaptivePartition {
 		unified := tracecache.Config{
@@ -214,6 +221,7 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 		if s.adpt, err = tracecache.NewAdaptive(unified); err != nil {
 			return nil, err
 		}
+		s.adpt.SetStore(s.store)
 		s.tc = s.adpt
 		s.buf = s.adpt.PBView()
 	} else {
@@ -221,6 +229,8 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 		if err != nil {
 			return nil, err
 		}
+		tc.SetStore(s.store)
+		s.tcc = tc
 		s.tc = tc
 	}
 	if s.ic, err = cache.New(cfg.ICache); err != nil {
@@ -244,6 +254,8 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 			if err != nil {
 				return nil, err
 			}
+			buf.SetStore(s.store)
+			s.bufc = buf
 			s.buf = buf
 		}
 		pcfg := cfg.Precon
@@ -251,6 +263,7 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 		if s.eng, err = precon.New(pcfg, im, s.bim, s.ic, s.tc, s.buf); err != nil {
 			return nil, err
 		}
+		s.eng.SetStore(s.store)
 		if pcfg.ResolveIndirects {
 			s.eng.SetTargetBuffer(s.itb)
 		}
@@ -375,11 +388,36 @@ func (s *Simulator) finalize() {
 		s.res.AdaptivePBShare = s.adpt.TargetPBShare()
 		s.res.AdaptiveAdjusts = s.adpt.Adjustments()
 	}
+	s.res.Intern = s.store.Stats()
 }
+
+// ReleaseStorage drains the trace cache and preconstruction buffers,
+// returning every interned trace's reference to the store. After a run,
+// ReleaseStorage must leave the store with zero live traces — the leak
+// invariant pinned by the pipeline tests. Useful when a caller keeps
+// many finished simulators around (sweeps) and wants their slab memory
+// reusable; a Simulator is single-use, so there is nothing to drain
+// twice.
+func (s *Simulator) ReleaseStorage() {
+	if s.tcc != nil {
+		s.tcc.Drain()
+	}
+	if s.bufc != nil {
+		s.bufc.Drain()
+	}
+	if s.adpt != nil {
+		s.adpt.Drain()
+	}
+}
+
+// InternStore exposes the simulator's trace store for tests and
+// diagnostics.
+func (s *Simulator) InternStore() *trace.Store { return s.store }
 
 // onTrace processes one demanded trace through the frontend and charges
 // its timing. tr is borrowed from the segmenter (valid only for this
-// call); the miss path clones it before it escapes into the trace cache.
+// call); the miss path interns it before it escapes into the trace
+// cache.
 func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 	id := tr.ID()
 	n := tr.Len()
@@ -427,8 +465,8 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 		s.res.TCMisses++
 		s.window.TCMisses++
 		fetchLat, slowBusy = s.slowPath(tr, dyns)
-		tr = tr.Clone() // the trace cache retains it
-		if s.cfg.PreprocEnabled {
+		tr = s.store.Intern(tr) // the trace cache retains it
+		if s.cfg.PreprocEnabled && tr.Opt == nil {
 			tr.Opt = preproc.Optimize(tr)
 		}
 		s.tc.Insert(tr)

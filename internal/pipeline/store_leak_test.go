@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tracepre/internal/workload"
+)
+
+// occupancy sums resident lines across whichever trace containers the
+// configuration instantiated.
+func occupancy(s *Simulator) int {
+	n := 0
+	if s.tcc != nil {
+		n += s.tcc.Occupancy()
+	}
+	if s.bufc != nil {
+		n += s.bufc.Occupancy()
+	}
+	if s.adpt != nil {
+		tc, pb := s.adpt.Occupancy()
+		n += tc + pb
+	}
+	return n
+}
+
+// TestStoreLeakInvariant is the ISSUE's leak contract: after a sweep of
+// runs across the paper's configuration space, every live interned
+// trace is exactly one resident cache/buffer line, and draining the
+// containers (ReleaseStorage) leaves zero live traces. Run under -race
+// in CI to guard the refcount paths.
+func TestStoreLeakInvariant(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := DefaultConfig()
+	preproc := DefaultConfig().WithTraceCache(64).WithPrecon(32)
+	preproc.FullTiming = true
+	preproc.PreprocEnabled = true
+	// The unified adaptive store needs a power-of-two total set count.
+	adaptive := DefaultConfig().WithTraceCache(64).WithPrecon(64)
+	adaptive.AdaptivePartition = true
+	plainLRU := DefaultConfig().WithTraceCache(64).WithPrecon(32)
+	plainLRU.Buffers.PlainLRU = true
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tc-only", base.WithTraceCache(64)},
+		{"precon", base.WithTraceCache(64).WithPrecon(32)},
+		{"precon-small", base.WithTraceCache(16).WithPrecon(16)},
+		{"precon-plain-lru", plainLRU},
+		{"adaptive", adaptive},
+		{"preproc-full-timing", preproc},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			sim := MustNew(im, tt.cfg)
+			res, err := sim.Run(60_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			occ := occupancy(sim)
+			if res.Intern.Live != occ {
+				t.Fatalf("%d live interned traces, %d resident lines", res.Intern.Live, occ)
+			}
+			if res.Intern.Live == 0 {
+				t.Fatal("run left no resident traces; invariant vacuous")
+			}
+			if res.Intern.Interns == 0 || res.Intern.Hits == 0 {
+				t.Fatalf("intern stats idle: %+v", res.Intern)
+			}
+			sim.ReleaseStorage()
+			if n := sim.InternStore().Live(); n != 0 {
+				t.Fatalf("%d live interned traces after ReleaseStorage, want 0", n)
+			}
+			if after := sim.InternStore().Stats(); after.SlabBytes != res.Intern.SlabBytes {
+				t.Fatalf("draining changed slab footprint: %d -> %d",
+					res.Intern.SlabBytes, after.SlabBytes)
+			}
+		})
+	}
+}

@@ -34,6 +34,13 @@ type constructor struct {
 	built     int
 	callStack []uint32
 
+	// Last line confirmed fetched for the current region. A region's
+	// fetched-line set only grows while the region is active, so a
+	// straight-line run of instructions needs one fetchLine check per
+	// line, not per instruction.
+	lastLine uint32
+	lineOK   bool
+
 	// Pre-walk state (loop-exit boundary search).
 	pwSince int
 	pwCount int
@@ -47,6 +54,9 @@ func newConstructor(e *Engine) *constructor {
 func (c *constructor) reset() {
 	if c.reg != nil {
 		c.reg.walkers--
+		if c.reg.walkers == 0 {
+			c.e.retireCheck = true
+		}
 	}
 	c.reg = nil
 	c.prewalk = false
@@ -54,6 +64,7 @@ func (c *constructor) reset() {
 	c.callStack = c.callStack[:0]
 	c.brIdx = 0
 	c.built = 0
+	c.lineOK = false
 	c.b.Reset(false)
 }
 
@@ -81,13 +92,16 @@ func (c *constructor) beginPreWalk(r *region) {
 
 // advance runs the constructor for up to n instructions.
 func (c *constructor) advance(n int) {
-	for i := 0; i < n && c.reg != nil; i++ {
-		if c.prewalk {
-			c.preWalkStep()
-		} else {
-			c.walkStep()
-		}
+	if c.reg == nil {
+		return
 	}
+	if c.prewalk {
+		for i := 0; i < n && c.reg != nil; i++ {
+			c.preWalkStep()
+		}
+		return
+	}
+	c.walk(n)
 }
 
 // abandonStart drops the current partial walk and frees the constructor
@@ -119,66 +133,87 @@ func (c *constructor) direction(pc uint32) bool {
 	return taken
 }
 
-// walkStep executes one instruction of a construction walk.
-func (c *constructor) walkStep() {
-	r := c.reg
-	line := c.e.ic.LineAddr(c.pc)
-	if !c.e.fetchLine(r, line) {
-		return // region completed (prefetch cache full); reset by engine
-	}
-	in, ok := c.e.im.At(c.pc)
-	if !ok {
-		c.abandonStart()
-		return
-	}
-
-	taken := false
-	next := c.pc + isa.WordSize
-	switch in.Classify() {
-	case isa.ClassBranch:
-		taken = c.direction(c.pc)
-		if taken {
-			next = in.BranchTarget(c.pc)
-		}
-	case isa.ClassJump:
-		next = in.Target
-	case isa.ClassCall:
-		if len(c.callStack) < c.e.cfg.CallStackDepth {
-			c.callStack = append(c.callStack, c.pc+isa.WordSize)
-		}
-		next = in.Target
-	case isa.ClassReturn:
-		if len(c.callStack) > 0 {
-			next = c.callStack[len(c.callStack)-1]
-			c.callStack = c.callStack[:len(c.callStack)-1]
-		} else {
-			next = 0 // successor unknown beyond this trace
-		}
-	case isa.ClassJumpInd:
-		next = 0
-		if c.e.cfg.ResolveIndirects && c.e.itb != nil {
-			if target, ok := c.e.itb.Predict(c.pc); ok {
-				next = target
+// walk executes up to n instructions of a construction walk. The loop
+// lives here rather than in advance so the program counter stays in a
+// register across instructions; a work unit's whole instruction budget
+// runs in one call.
+func (c *constructor) walk(n int) {
+	e := c.e
+	b := c.b
+	pc := c.pc
+	for i := 0; i < n; i++ {
+		if line := e.ic.LineAddr(pc); !c.lineOK || line != c.lastLine {
+			if !e.fetchLine(c.reg, line) {
+				// Region completed (prefetch cache full; reset by
+				// engine), or this unit's fetch budget is spent — either
+				// way no further instruction can issue this unit.
+				if c.reg != nil {
+					c.pc = pc
+				}
+				return
 			}
+			c.lastLine, c.lineOK = line, true
 		}
-	case isa.ClassHalt:
-		next = 0
-	}
+		in, ok := e.im.At(pc)
+		if !ok {
+			c.abandonStart()
+			return
+		}
 
-	done := c.b.Append(c.pc, in, taken)
-	c.pc = next
-	if !done {
-		return
+		taken := false
+		next := pc + isa.WordSize
+		class := in.Classify()
+		switch class {
+		case isa.ClassBranch:
+			taken = c.direction(pc)
+			if taken {
+				next = in.BranchTarget(pc)
+			}
+		case isa.ClassJump:
+			next = in.Target
+		case isa.ClassCall:
+			if len(c.callStack) < e.cfg.CallStackDepth {
+				c.callStack = append(c.callStack, pc+isa.WordSize)
+			}
+			next = in.Target
+		case isa.ClassReturn:
+			if len(c.callStack) > 0 {
+				next = c.callStack[len(c.callStack)-1]
+				c.callStack = c.callStack[:len(c.callStack)-1]
+			} else {
+				next = 0 // successor unknown beyond this trace
+			}
+		case isa.ClassJumpInd:
+			next = 0
+			if e.cfg.ResolveIndirects && e.itb != nil {
+				if target, ok := e.itb.Predict(pc); ok {
+					next = target
+				}
+			}
+		case isa.ClassHalt:
+			next = 0
+		}
+
+		done := b.AppendClassified(pc, in, class, taken)
+		pc = next
+		if !done {
+			continue
+		}
+		// Seal, not Finish: the builder's trace is delivered borrowed,
+		// and deliver interns it only if it actually enters the buffers
+		// — most constructed traces are duplicates and never escape.
+		tr := b.Seal(next)
+		e.deliver(c.reg, tr)
+		if c.reg == nil {
+			return // deliver terminated the region
+		}
+		c.nextTraceFromStart()
+		if c.reg == nil {
+			return // start-point tree exhausted
+		}
+		pc = c.pc // nextTraceFromStart rewound to the start point
 	}
-	// Seal, not Finish: the builder's trace is delivered borrowed, and
-	// deliver clones it only if it actually enters the buffers — most
-	// constructed traces are duplicates and never escape.
-	tr := c.b.Seal(next)
-	c.e.deliver(r, tr)
-	if c.reg == nil {
-		return // deliver terminated the region
-	}
-	c.nextTraceFromStart()
+	c.pc = pc
 }
 
 // nextTraceFromStart backtracks the decision stack to enumerate the next
@@ -213,9 +248,11 @@ func (c *constructor) nextTraceFromStart() {
 // first trace start point.
 func (c *constructor) preWalkStep() {
 	r := c.reg
-	line := c.e.ic.LineAddr(c.pc)
-	if !c.e.fetchLine(r, line) {
-		return
+	if line := c.e.ic.LineAddr(c.pc); !c.lineOK || line != c.lastLine {
+		if !c.e.fetchLine(r, line) {
+			return
+		}
+		c.lastLine, c.lineOK = line, true
 	}
 	in, ok := c.e.im.At(c.pc)
 	if !ok {

@@ -254,6 +254,11 @@ type Engine struct {
 	// cache port, so it fetches at most one line per idle cycle.
 	fetchBudget int
 
+	// retireCheck is set when a region's walker count drops to zero —
+	// the only transition that can leave a region quiescent — so step
+	// scans for retirable regions only on units where one may exist.
+	retireCheck bool
+
 	// traceHook, when set, observes every constructed trace with the
 	// start point of the region that built it (diagnostics, examples).
 	// The trace is borrowed: it is valid only for the duration of the
@@ -262,7 +267,18 @@ type Engine struct {
 
 	// itb resolves indirect-jump targets when ResolveIndirects is on.
 	itb *bpred.TargetBuffer
+
+	// store, when set, interns completed traces instead of cloning them
+	// into the buffers (see trace.Store).
+	store *trace.Store
 }
+
+// SetStore attaches an intern store: deliver retains completed traces
+// through store.Intern — a refcount bump and content check when an
+// identical trace is resident — instead of deep-copying with Clone.
+// The buffers must share the same store (their Insert takes ownership
+// of the reference Intern returns).
+func (e *Engine) SetStore(s *trace.Store) { e.store = s }
 
 // SetTargetBuffer shares the slow path's indirect target buffer with
 // the engine (used only when Config.ResolveIndirects is set).
@@ -672,8 +688,9 @@ func (e *Engine) fetchLine(r *region, line uint32) bool {
 // deliver disposes of a completed trace: drop if already cached, else
 // buffer it. A buffer rejection terminates the region (§3.1). It also
 // queues the trace's successor as a new start point (§2.1). tr is
-// borrowed from the constructor's builder; the insert path clones it
-// before it escapes into the buffers.
+// borrowed from the constructor's builder; the insert path interns it
+// (or, with no store attached, clones it) before it escapes into the
+// buffers.
 func (e *Engine) deliver(r *region, tr *trace.Trace) {
 	e.stats.TracesBuilt++
 	r.built++
@@ -683,9 +700,17 @@ func (e *Engine) deliver(r *region, tr *trace.Trace) {
 	id := tr.ID()
 	if e.tc.Contains(id) || e.buf.Contains(id) {
 		e.stats.TracesDuplicate++
-	} else if !e.buf.Insert(tr.Clone(), r.seq) {
-		e.completeRegion(r, &e.stats.RegionsBounded)
-		return
+	} else {
+		var kept *trace.Trace
+		if e.store != nil {
+			kept = e.store.Intern(tr)
+		} else {
+			kept = tr.Clone()
+		}
+		if !e.buf.Insert(kept, r.seq) {
+			e.completeRegion(r, &e.stats.RegionsBounded)
+			return
+		}
 	}
 	if tr.Succ != 0 && !r.seen.has(tr.Succ) && r.pending() < e.cfg.WorklistCap {
 		r.pushWork(tr.Succ)
@@ -752,7 +777,10 @@ func (e *Engine) step(units int) {
 			}
 			c.advance(e.cfg.StepInstrs)
 		}
-		e.retireQuiescent()
+		if e.retireCheck {
+			e.retireCheck = false
+			e.retireQuiescent()
+		}
 	}
 }
 

@@ -25,7 +25,13 @@ func mkTrace(start uint32, call, ret bool) *trace.Trace {
 	for i := range pcs {
 		pcs[i] = start + uint32(i*4)
 	}
-	return &trace.Trace{PCs: pcs, Insts: insts, EndsInReturn: ret}
+	// ContainsCall is a precomputed flag, so hand-built traces must set
+	// it to match their contents (see trace.Trace.Flags).
+	var flags trace.Flags
+	if call {
+		flags |= trace.FlagContainsCall
+	}
+	return &trace.Trace{PCs: pcs, Insts: insts, Flags: flags, EndsInReturn: ret}
 }
 
 func TestConfigValidate(t *testing.T) {

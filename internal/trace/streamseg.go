@@ -67,11 +67,17 @@ func (ss *StreamSegmenter) NextTrace(limit uint64) (*Trace, []emulator.Dyn, bool
 			t.NumBr++
 			if d.Inst.IsBackwardBranch() {
 				sinceBwd = 0
+				t.Flags |= FlagContainsBackward
 			}
+		case isa.ClassCall:
+			t.Flags |= FlagContainsCall
 		case isa.ClassReturn:
 			t.EndsInReturn = true
 			done = true
 		case isa.ClassJumpInd:
+			if d.Inst.IsCall() { // jalr: an indirect call
+				t.Flags |= FlagContainsCall
+			}
 			t.EndsInIndirect = true
 			done = true
 		case isa.ClassHalt:
@@ -91,6 +97,7 @@ func (ss *StreamSegmenter) NextTrace(limit uint64) (*Trace, []emulator.Dyn, bool
 			t.PCs = ss.pcs[:k]
 			t.Insts = ss.insts[:k]
 			t.Succ = d.NextPC
+			t.Flags |= ss.cfg.lenClass(k)
 			return t, ss.dyns[:k], true
 		}
 	}

@@ -60,6 +60,28 @@ func (id ID) String() string {
 	return fmt.Sprintf("T[0x%x/%d:%0*b]", id.Start, id.NumBr, id.NumBr, id.Mask)
 }
 
+// Flags are per-trace predicates precomputed at seal time, so consumers
+// that query them per lookup (the next-trace predictor's return history
+// stack keys off ContainsCall on every Update) never rescan the
+// instruction sequence. The length-class bits quantize Len against the
+// selection parameters that built the trace.
+type Flags uint8
+
+const (
+	// FlagContainsCall is set when any instruction in the trace is a
+	// call (jal or jalr).
+	FlagContainsCall Flags = 1 << iota
+	// FlagContainsBackward is set when the trace contains a backward
+	// conditional branch (a loop back edge).
+	FlagContainsBackward
+	// FlagFullLength is set when the trace filled the selector's MaxLen
+	// budget (length class: maximal).
+	FlagFullLength
+	// FlagShort is set when the trace is at most one alignment quantum
+	// (AlignMod instructions) long (length class: minimal).
+	FlagShort
+)
+
 // Trace is a constructed trace: the instruction sequence, its identity,
 // and bookkeeping the timing model and preconstructor need.
 type Trace struct {
@@ -68,6 +90,11 @@ type Trace struct {
 
 	BrMask uint16 // conditional branch outcomes in order
 	NumBr  uint8
+
+	// Flags carry predicates of the instruction sequence, precomputed
+	// when the trace is sealed. Code that constructs traces by hand
+	// (tests, tools) must set them to match the contents.
+	Flags Flags
 
 	EndsInReturn   bool
 	EndsInIndirect bool
@@ -82,6 +109,13 @@ type Trace struct {
 	// pipeline's preprocessing stage is enabled (see internal/preproc).
 	// It is opaque to this package.
 	Opt interface{}
+
+	// Intern bookkeeping, managed by Store. Zero for unmanaged traces.
+	store    *Store
+	refs     int32
+	chunk    int32
+	limboIdx int32
+	hash     uint32 // ID.Hash(), cached for the store's index probes
 }
 
 // ID returns the trace's identity.
@@ -133,8 +167,14 @@ func (c SelectConfig) Validate() error {
 // fall-through, so counting from the region start reproduces the
 // machine's count past the branch, and the trace boundaries coincide.
 type Builder struct {
-	cfg      SelectConfig
-	t        Trace
+	cfg SelectConfig
+	t   Trace
+	// Fixed per-trace buffers (selection caps MaxLen at 16): index
+	// writes instead of slice appends keep this off the heap and out of
+	// the preconstruction walk's critical path. Seal aliases them.
+	pcs      [16]uint32
+	insts    [16]isa.Inst
+	k        int
 	sinceBwd int // instructions appended since last backward branch; -1 = none seen
 }
 
@@ -145,17 +185,13 @@ func NewBuilder(cfg SelectConfig, anchored bool) *Builder {
 	if anchored {
 		b.sinceBwd = 0
 	}
-	b.t.PCs = make([]uint32, 0, cfg.MaxLen)
-	b.t.Insts = make([]isa.Inst, 0, cfg.MaxLen)
 	return b
 }
 
 // Reset clears the builder for a new trace with the same configuration.
 func (b *Builder) Reset(anchored bool) {
-	b.t = Trace{
-		PCs:   b.t.PCs[:0],
-		Insts: b.t.Insts[:0],
-	}
+	b.t = Trace{}
+	b.k = 0
 	b.sinceBwd = -1
 	if anchored {
 		b.sinceBwd = 0
@@ -163,22 +199,31 @@ func (b *Builder) Reset(anchored bool) {
 }
 
 // Len returns the number of instructions appended so far.
-func (b *Builder) Len() int { return len(b.t.Insts) }
+func (b *Builder) Len() int { return b.k }
 
 // Append adds one instruction with its resolved (or predicted) branch
 // direction and reports whether the trace is now complete. Appending to
 // a complete trace is a caller bug and panics.
 func (b *Builder) Append(pc uint32, in isa.Inst, taken bool) (done bool) {
-	if len(b.t.Insts) >= b.cfg.MaxLen {
+	return b.AppendClassified(pc, in, in.Classify(), taken)
+}
+
+// AppendClassified is Append for callers that already classified the
+// instruction (the preconstruction walk classifies to resolve the next
+// PC); class must equal in.Classify().
+func (b *Builder) AppendClassified(pc uint32, in isa.Inst, class isa.Class, taken bool) (done bool) {
+	k := b.k
+	if uint(k) >= uint(len(b.insts)) || k >= b.cfg.MaxLen {
 		panic("trace: Append past MaxLen")
 	}
-	b.t.PCs = append(b.t.PCs, pc)
-	b.t.Insts = append(b.t.Insts, in)
+	b.pcs[k] = pc
+	b.insts[k] = in
+	b.k = k + 1
 	if b.sinceBwd >= 0 {
 		b.sinceBwd++
 	}
 
-	switch in.Classify() {
+	switch class {
 	case isa.ClassBranch:
 		if taken {
 			b.t.BrMask |= 1 << b.t.NumBr
@@ -186,18 +231,24 @@ func (b *Builder) Append(pc uint32, in isa.Inst, taken bool) (done bool) {
 		b.t.NumBr++
 		if in.IsBackwardBranch() {
 			b.sinceBwd = 0
+			b.t.Flags |= FlagContainsBackward
 		}
+	case isa.ClassCall:
+		b.t.Flags |= FlagContainsCall
 	case isa.ClassReturn:
 		b.t.EndsInReturn = true
 		return true
 	case isa.ClassJumpInd:
+		if in.IsCall() { // jalr: an indirect call
+			b.t.Flags |= FlagContainsCall
+		}
 		b.t.EndsInIndirect = true
 		return true
 	case isa.ClassHalt:
 		b.t.EndsInHalt = true
 		return true
 	}
-	if len(b.t.Insts) == b.cfg.MaxLen {
+	if b.k == b.cfg.MaxLen {
 		return true
 	}
 	if b.sinceBwd > 0 && b.sinceBwd%b.cfg.AlignMod == 0 {
@@ -216,14 +267,15 @@ func (b *Builder) Append(pc uint32, in isa.Inst, taken bool) (done bool) {
 // called on a partial trace (e.g. when the preconstructor abandons a
 // region); an empty trace returns nil.
 func (b *Builder) Finish(succ uint32) *Trace {
-	if len(b.t.Insts) == 0 {
+	if b.k == 0 {
 		return nil
 	}
 	t := Trace{
-		PCs:            append([]uint32(nil), b.t.PCs...),
-		Insts:          append([]isa.Inst(nil), b.t.Insts...),
+		PCs:            append([]uint32(nil), b.pcs[:b.k]...),
+		Insts:          append([]isa.Inst(nil), b.insts[:b.k]...),
 		BrMask:         b.t.BrMask,
 		NumBr:          b.t.NumBr,
+		Flags:          b.t.Flags | b.cfg.lenClass(b.k),
 		EndsInReturn:   b.t.EndsInReturn,
 		EndsInIndirect: b.t.EndsInIndirect,
 		EndsInHalt:     b.t.EndsInHalt,
@@ -232,34 +284,49 @@ func (b *Builder) Finish(succ uint32) *Trace {
 	return &t
 }
 
+// lenClass returns the length-class flag bits for an n-instruction trace
+// under this selection configuration.
+func (c SelectConfig) lenClass(n int) Flags {
+	var f Flags
+	if n == c.MaxLen {
+		f |= FlagFullLength
+	}
+	if n <= c.AlignMod {
+		f |= FlagShort
+	}
+	return f
+}
+
 // Seal finalizes the in-progress trace in place and returns a pointer
 // to the Builder's internal Trace, avoiding the copy Finish makes. The
 // returned trace is valid only until the next Append or Reset; callers
 // that retain it must Clone it first. An empty trace returns nil.
 func (b *Builder) Seal(succ uint32) *Trace {
-	if len(b.t.Insts) == 0 {
+	if b.k == 0 {
 		return nil
 	}
+	b.t.PCs = b.pcs[:b.k:b.k]
+	b.t.Insts = b.insts[:b.k:b.k]
 	b.t.Succ = succ
+	b.t.Flags |= b.cfg.lenClass(b.k)
 	return &b.t
 }
 
-// Clone returns a deep copy of the trace that is safe to retain, e.g.
-// when a borrowed trace escapes into the trace cache.
+// Clone returns a deep copy of the trace that is safe to retain. The
+// copy is unmanaged: intern bookkeeping does not transfer. Retaining a
+// borrowed trace through a Store (Intern) is cheaper when one is
+// available — interning recycles slab storage and dedupes against
+// resident traces instead of allocating.
 func (t *Trace) Clone() *Trace {
 	c := *t
 	c.PCs = append([]uint32(nil), t.PCs...)
 	c.Insts = append([]isa.Inst(nil), t.Insts...)
+	c.store, c.refs, c.chunk, c.limboIdx, c.hash = nil, 0, 0, 0, 0
 	return &c
 }
 
 // ContainsCall reports whether any instruction in the trace is a call;
-// the next-trace predictor's return history stack keys off this.
-func (t *Trace) ContainsCall() bool {
-	for _, in := range t.Insts {
-		if in.IsCall() {
-			return true
-		}
-	}
-	return false
-}
+// the next-trace predictor's return history stack keys off this. The
+// predicate is precomputed at seal time (FlagContainsCall), so the query
+// is a bit test, not an instruction scan.
+func (t *Trace) ContainsCall() bool { return t.Flags&FlagContainsCall != 0 }

@@ -42,6 +42,19 @@ type Adaptive struct {
 
 	stats   Stats // trace-cache-view stats
 	pbStats Stats // buffer-view stats
+	store   *trace.Store
+}
+
+// SetStore attaches an intern store; see TraceCache.SetStore. Insert
+// and InsertPrecon take ownership of one reference per inserted trace;
+// Take keeps the reference with the entry (the role flips in place, so
+// nothing changes hands).
+func (a *Adaptive) SetStore(s *trace.Store) { a.store = s }
+
+func (a *Adaptive) release(t *trace.Trace) {
+	if a.store != nil {
+		a.store.Release(t)
+	}
 }
 
 type aline struct {
@@ -266,16 +279,22 @@ func (a *Adaptive) Insert(tr *trace.Trace) {
 			if s[i].precon {
 				a.pbCount--
 			}
+			old := s[i].tr
 			s[i] = aline{id: id, tr: tr, valid: true, lru: a.clock}
+			a.release(old)
 			return
 		}
 	}
 	v := a.victim(s, false, 0)
 	if v < 0 {
-		return // cannot happen: trace-cache inserts always find a way
+		a.release(tr) // cannot happen: trace-cache inserts always find a way
+		return
 	}
-	if s[v].valid && s[v].precon {
-		a.pbCount--
+	if s[v].valid {
+		if s[v].precon {
+			a.pbCount--
+		}
+		a.release(s[v].tr)
 	}
 	s[v] = aline{id: id, tr: tr, valid: true, lru: a.clock}
 }
@@ -326,11 +345,14 @@ func (a *Adaptive) InsertPrecon(tr *trace.Trace, region uint64) bool {
 		if s[i].valid && s[i].id == id {
 			if !s[i].precon {
 				// Already in the trace cache: nothing to buffer.
+				a.release(tr)
 				return true
 			}
+			old := s[i].tr
 			s[i].tr = tr
 			s[i].region = region
 			s[i].lru = a.clock
+			a.release(old)
 			a.pbStats.Inserts++
 			return true
 		}
@@ -338,7 +360,11 @@ func (a *Adaptive) InsertPrecon(tr *trace.Trace, region uint64) bool {
 	v := a.victim(s, true, region)
 	if v < 0 {
 		a.pbStats.Rejected++
+		a.release(tr)
 		return false
+	}
+	if s[v].valid {
+		a.release(s[v].tr)
 	}
 	if !s[v].valid || !s[v].precon {
 		a.pbCount++
@@ -346,6 +372,20 @@ func (a *Adaptive) InsertPrecon(tr *trace.Trace, region uint64) bool {
 	s[v] = aline{id: id, tr: tr, valid: true, precon: true, lru: a.clock, region: region}
 	a.pbStats.Inserts++
 	return true
+}
+
+// Drain invalidates every line in both roles, releasing the store's
+// references. The partition target and statistics are preserved.
+func (a *Adaptive) Drain() {
+	for _, s := range a.sets {
+		for i := range s {
+			if s[i].valid {
+				a.release(s[i].tr)
+				s[i] = aline{}
+			}
+		}
+	}
+	a.pbCount = 0
 }
 
 // PBStatsView returns the buffer-view counters.

@@ -64,6 +64,20 @@ type TraceCache struct {
 	setMask uint32
 	clock   uint64
 	stats   Stats
+	store   *trace.Store
+}
+
+// SetStore attaches an intern store. With a store attached the cache
+// participates in the reference-count protocol: Insert takes ownership
+// of one reference to the inserted trace and releases it when the line
+// is refreshed, evicted or drained. Without a store (the default) the
+// cache owns plain traces and releases are no-ops.
+func (tc *TraceCache) SetStore(s *trace.Store) { tc.store = s }
+
+func (tc *TraceCache) release(t *trace.Trace) {
+	if tc.store != nil {
+		tc.store.Release(t)
+	}
 }
 
 // New builds a trace cache.
@@ -145,7 +159,10 @@ func (tc *TraceCache) Peek(id trace.ID) (*trace.Trace, bool) {
 }
 
 // Insert places a trace, evicting the LRU way if the set is full. If the
-// trace is already present its LRU stamp is refreshed instead.
+// trace is already present its LRU stamp is refreshed instead. Insert
+// takes ownership of the caller's reference to tr (see SetStore): the
+// displaced trace's reference — the old copy on a refresh, the victim
+// on an eviction — is released.
 func (tc *TraceCache) Insert(tr *trace.Trace) {
 	id := tr.ID()
 	tc.clock++
@@ -154,8 +171,10 @@ func (tc *TraceCache) Insert(tr *trace.Trace) {
 	victim := 0
 	for i := range s {
 		if s[i].valid && s[i].id == id {
+			old := s[i].tr
 			s[i].tr = tr
 			s[i].lru = tc.clock
+			tc.release(old)
 			return
 		}
 		if !s[i].valid {
@@ -164,7 +183,36 @@ func (tc *TraceCache) Insert(tr *trace.Trace) {
 			victim = i
 		}
 	}
+	if s[victim].valid {
+		tc.release(s[victim].tr)
+	}
 	s[victim] = line{id: id, tr: tr, valid: true, lru: tc.clock}
+}
+
+// Drain invalidates every line, releasing the cache's references. The
+// geometry and statistics are preserved.
+func (tc *TraceCache) Drain() {
+	for _, s := range tc.sets {
+		for i := range s {
+			if s[i].valid {
+				tc.release(s[i].tr)
+				s[i] = line{}
+			}
+		}
+	}
+}
+
+// Occupancy returns the number of valid entries (for tests and reports).
+func (tc *TraceCache) Occupancy() int {
+	n := 0
+	for _, s := range tc.sets {
+		for _, l := range s {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Stats returns a copy of the counters.
@@ -184,9 +232,21 @@ type Buffers struct {
 	setMask uint32
 	clock   uint64
 	stats   Stats
+	store   *trace.Store
 	// Promotions counts buffer hits that moved a trace into the trace
 	// cache (all hits do; kept separate for reporting clarity).
 	promotions uint64
+}
+
+// SetStore attaches an intern store; see TraceCache.SetStore. Insert
+// takes ownership of one reference per inserted trace; Take transfers
+// the resident reference to the caller.
+func (b *Buffers) SetStore(s *trace.Store) { b.store = s }
+
+func (b *Buffers) release(t *trace.Trace) {
+	if b.store != nil {
+		b.store.Release(t)
+	}
 }
 
 // NewBuffers builds the preconstruction buffer array.
@@ -220,7 +280,9 @@ func (b *Buffers) Config() Config { return b.cfg }
 // Take searches for the trace; on a hit the buffer entry is invalidated
 // (the caller copies the trace into the trace cache, per §3.1: "after a
 // trace is copied from a preconstruction buffer to the trace cache, the
-// buffer is invalidated").
+// buffer is invalidated"). When a store is attached, the buffer's
+// reference transfers to the caller, who must release it or hand it to
+// a consumer that takes ownership (typically TraceCache.Insert).
 func (b *Buffers) Take(id trace.ID) (*trace.Trace, bool) {
 	b.stats.Lookups++
 	s := b.set(id)
@@ -229,6 +291,7 @@ func (b *Buffers) Take(id trace.ID) (*trace.Trace, bool) {
 			b.stats.Hits++
 			b.promotions++
 			tr := s[i].tr
+			s[i].tr = nil
 			s[i].valid = false
 			return tr, true
 		}
@@ -251,6 +314,10 @@ func (b *Buffers) Contains(id trace.ID) bool {
 // priority). It returns false when the replacement policy refuses the
 // insert: every candidate victim belongs to the same or a more recent
 // region. This refusal is what bounds preconstruction effort per region.
+//
+// Insert takes ownership of the caller's reference to tr: a refused
+// insert releases it, a refresh releases the displaced copy, an
+// eviction releases the victim.
 func (b *Buffers) Insert(tr *trace.Trace, region uint64) bool {
 	id := tr.ID()
 	b.clock++
@@ -258,9 +325,11 @@ func (b *Buffers) Insert(tr *trace.Trace, region uint64) bool {
 	// Already present (from any region): refresh, don't duplicate.
 	for i := range s {
 		if s[i].valid && s[i].id == id {
+			old := s[i].tr
 			s[i].tr = tr
 			s[i].region = region
 			s[i].lru = b.clock
+			b.release(old)
 			b.stats.Inserts++
 			return true
 		}
@@ -287,11 +356,28 @@ func (b *Buffers) Insert(tr *trace.Trace, region uint64) bool {
 	}
 	if victim == -1 {
 		b.stats.Rejected++
+		b.release(tr)
 		return false
+	}
+	if s[victim].valid {
+		b.release(s[victim].tr)
 	}
 	s[victim] = line{id: id, tr: tr, valid: true, lru: b.clock, region: region}
 	b.stats.Inserts++
 	return true
+}
+
+// Drain invalidates every line, releasing the buffers' references. The
+// geometry and statistics are preserved.
+func (b *Buffers) Drain() {
+	for _, s := range b.sets {
+		for i := range s {
+			if s[i].valid {
+				b.release(s[i].tr)
+				s[i] = line{}
+			}
+		}
+	}
 }
 
 // Stats returns a copy of the counters.
