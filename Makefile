@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke experiments fuzz ci clean
+.PHONY: all build examples fmt-check vet lint test race bench bench-smoke experiments fuzz ci clean
 
 all: build vet test
 
@@ -13,13 +13,23 @@ ci: build lint test
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
+
+examples:
+	$(GO) build ./examples/...
+
+# Fail when any file drifts from gofmt — mirrored by the CI lint job.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
 
-# Lint: vet always; staticcheck when installed (CI installs it — see
-# the lint job in .github/workflows/ci.yml).
-lint: vet
+# Lint: gofmt gate and vet always; staticcheck when installed (CI
+# installs it — see the lint job in .github/workflows/ci.yml).
+lint: fmt-check vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

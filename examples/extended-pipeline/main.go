@@ -3,7 +3,10 @@
 // preprocessing alone, and their combination — showing that the
 // combination beats the sum of its parts because the two mechanisms
 // remove different bottlenecks (instruction supply vs execution
-// throughput).
+// throughput). It then dissects the combined machine's composed
+// frontend (internal/frontend): which supplier answered each trace
+// demand, and how the single slow-path i-cache port was shared between
+// demand fetch and the preconstruction engine.
 //
 //	go run ./examples/extended-pipeline [benchmark]
 package main
@@ -58,4 +61,26 @@ func main() {
 		fmt.Println("faster execution raises fetch pressure, which preconstruction")
 		fmt.Println("relieves; better fetch keeps the preprocessed windows full.")
 	}
+
+	// Frontend composition: re-run the combined machine and read the
+	// frontend's own accounting — the supplier probe chain and the
+	// arbitrated slow-path port (Result.Frontend).
+	cfg := core.TimingConfig(core.PreconConfig(128, 128), true)
+	res2, err := core.RunBenchmark(bench, cfg, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe := res2.Frontend
+	fmt.Println("\ncombined machine, frontend composition (Result.Frontend):")
+	for _, sup := range fe.Suppliers {
+		fmt.Printf("  supplier %-15s probes %7d  hits %7d  (%.1f%%)  fills %6d\n",
+			sup.Name, sup.Probes, sup.Hits, sup.HitRate()*100, sup.Fills)
+	}
+	fmt.Printf("  slow path built %d traces (%d instrs through the i-cache)\n",
+		fe.Slow.Builds, fe.Slow.Instrs)
+	port := fe.Port
+	fmt.Printf("  i-cache port: demand %d accesses / %d busy cycles; engine granted\n",
+		port.DemandAccesses, port.DemandBusyCycles)
+	fmt.Printf("  %d of %d idle cycles, denied %d requests (contention %.3f)\n",
+		port.PreconFetches, port.IdleCycles, port.PreconStalls, port.Contention())
 }

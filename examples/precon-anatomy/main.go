@@ -77,7 +77,7 @@ func main() {
 	ic := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
 	tc := tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2})
 	buf := tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2})
-	eng := precon.MustNew(precon.DefaultConfig(), im, bim, ic, tc, buf)
+	eng := precon.MustNew(precon.DefaultConfig(), im, bim, precon.NewSlowPathPort(ic), tc, buf)
 
 	eng.SetTraceHook(func(tr *trace.Trace, sp precon.StartPoint) {
 		fmt.Printf("    engine built %v (len %d) for %s region at 0x%x\n",

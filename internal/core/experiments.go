@@ -238,7 +238,7 @@ func Figure6Ctx(ctx context.Context, budget uint64, benches []string) (*Fig6Resu
 // TableSpecs renders Figure 6.
 func (r *Fig6Result) TableSpecs() []harness.TableSpec {
 	spec := harness.TableSpec{
-		Title: fmt.Sprintf("Figure 6: speedup from preconstruction, TC vs TC/2 + PB/2 (budget %d)", r.Budget),
+		Title:   fmt.Sprintf("Figure 6: speedup from preconstruction, TC vs TC/2 + PB/2 (budget %d)", r.Budget),
 		Headers: []string{"benchmark", "TC entries", "base IPC", "precon IPC", "speedup %"},
 	}
 	for _, p := range r.Points {
@@ -310,7 +310,7 @@ func Figure8Ctx(ctx context.Context, budget uint64, benches []string) (*Fig8Resu
 // TableSpecs renders Figure 8.
 func (r *Fig8Result) TableSpecs() []harness.TableSpec {
 	spec := harness.TableSpec{
-		Title: fmt.Sprintf("Figure 8: extended pipeline speedups over a 256-entry TC (budget %d)", r.Budget),
+		Title:   fmt.Sprintf("Figure 8: extended pipeline speedups over a 256-entry TC (budget %d)", r.Budget),
 		Headers: []string{"benchmark", "base IPC", "precon %", "preproc %", "combined %", "sum of parts %"},
 	}
 	for _, row := range r.Rows {

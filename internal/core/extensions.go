@@ -64,7 +64,7 @@ func AdaptivePartitionStudyCtx(ctx context.Context, budget uint64, benches []str
 // TableSpecs renders the study.
 func (r *AdaptiveResult) TableSpecs() []harness.TableSpec {
 	spec := harness.TableSpec{
-		Title: fmt.Sprintf("Extension: dynamic TC/PB partitioning, 512 total entries (budget %d)", r.Budget),
+		Title:   fmt.Sprintf("Extension: dynamic TC/PB partitioning, 512 total entries (budget %d)", r.Budget),
 		Headers: []string{"benchmark", "fixed 256+256 miss/KI", "adaptive miss/KI", "final PB share", "adjustments"},
 	}
 	for _, row := range r.Rows {
@@ -307,6 +307,14 @@ func extensionExperiments() []Experiment {
 			DefaultBenches: func() []string { return []string{"gcc", "go", "perl"} },
 			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
 				return PredictorAblationsCtx(ctx, budget, benches)
+			},
+		},
+		{
+			ID:             "ext-frontend",
+			Title:          "Extension: frontend supplier hit rates and slow-path port arbitration",
+			DefaultBenches: func() []string { return []string{"gcc", "vortex"} },
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return FrontendStudyCtx(ctx, budget, benches)
 			},
 		},
 	}

@@ -23,6 +23,7 @@ var goldenBenches = map[string][]string{
 	"ablation-tpred":  {"compress"},
 	"sensitivity":     {"li"},
 	"seeds":           {"li"},
+	"ext-frontend":    {"compress", "li"},
 }
 
 // TestGoldenTables pins the rendered ASCII tables of all nine

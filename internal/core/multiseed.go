@@ -76,7 +76,7 @@ func MultiSeedCtx(ctx context.Context, budget uint64, benches []string, seeds in
 // TableSpecs renders the study.
 func (r *MultiSeedResult) TableSpecs() []harness.TableSpec {
 	spec := harness.TableSpec{
-		Title: fmt.Sprintf("Across program seeds: iso-area miss reduction, 512 TC vs 256+256 (budget %d)", r.Budget),
+		Title:   fmt.Sprintf("Across program seeds: iso-area miss reduction, 512 TC vs 256+256 (budget %d)", r.Budget),
 		Headers: []string{"benchmark", "seeds", "mean %", "stddev", "min %", "max %"},
 	}
 	for _, row := range r.Rows {

@@ -108,7 +108,7 @@ func SensitivityCtx(ctx context.Context, budget uint64, benches []string) (*Sens
 // footer.
 func (r *SensitivityResult) TableSpecs() []harness.TableSpec {
 	spec := harness.TableSpec{
-		Title: fmt.Sprintf("Sensitivity: iso-area comparison (512 TC vs 256+256) across model parameters (budget %d)", r.Budget),
+		Title:   fmt.Sprintf("Sensitivity: iso-area comparison (512 TC vs 256+256) across model parameters (budget %d)", r.Budget),
 		Headers: []string{"variant", "benchmark", "512 TC miss/KI", "256+256 miss/KI", "reduction %"},
 		Footer:  "CONCLUSION HOLDS under every variant\n",
 	}

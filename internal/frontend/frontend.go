@@ -1,0 +1,479 @@
+// Package frontend composes the fetch side of the trace processor from
+// explicit components: trace suppliers probed in priority order behind
+// one contract, a slow-path i-cache port arbitrated between demand
+// fetch and the preconstruction engine, and a composition root that
+// owns supplier probe order and fill routing.
+//
+// The paper's three frontends — trace cache only, trace cache +
+// preconstruction buffers, and the adaptive unified store — differ only
+// in which suppliers New wires and which store is primary; the per-trace
+// supply loop (Supply) has no knowledge of the concrete design. A new
+// frontend variant (a different prefetcher, another probe order, more
+// suppliers) is a new TraceSupplier wired in New, not a new special
+// case in the simulator.
+package frontend
+
+import (
+	"tracepre/internal/bpred"
+	"tracepre/internal/cache"
+	"tracepre/internal/emulator"
+	"tracepre/internal/isa"
+	"tracepre/internal/precon"
+	"tracepre/internal/preproc"
+	"tracepre/internal/program"
+	"tracepre/internal/tpred"
+	"tracepre/internal/trace"
+	"tracepre/internal/tracecache"
+)
+
+// TraceSupplier is a store that can supply a demanded trace. Probe is
+// the fetch-side contract every trace store implements natively
+// (TraceCache, Buffers, Adaptive and its PBView): it returns the
+// resident trace on a hit, with the supplier's own lookup semantics —
+// LRU stamping for the trace cache, consuming Take for the buffers,
+// in-place role flip for the adaptive facet. promote is set when the
+// caller must copy the hit into the primary supplier (split-design
+// buffers, per §3.1); suppliers that are the primary, or that promote
+// internally, return promote=false.
+//
+// Contains probes residency without perturbing LRU state or statistics;
+// it is the same probe the preconstruction engine's fill side uses
+// (precon.TraceStore) to avoid buffering already-cached traces.
+type TraceSupplier interface {
+	Probe(id trace.ID) (tr *trace.Trace, hit, promote bool)
+	Contains(id trace.ID) bool
+}
+
+// PrimarySupplier is the first supplier in probe order: the store that
+// owns demand fills (slow-path builds and promoted buffer hits) and
+// answers wrong-path peeks for speculative replay.
+type PrimarySupplier interface {
+	TraceSupplier
+	Fill(tr *trace.Trace)
+	Peek(id trace.ID) (*trace.Trace, bool)
+}
+
+// Config selects and sizes the frontend's components. It is the
+// fetch-side slice of pipeline.Config; pipeline wires it so the nine
+// experiment drivers need no knowledge of the decomposition.
+type Config struct {
+	TraceCache tracecache.Config
+	Buffers    tracecache.Config // Entries == 0 disables preconstruction
+	// AdaptivePartition replaces the split trace cache + buffers with
+	// one unified store whose partition adapts (requires precon).
+	AdaptivePartition bool
+
+	ICache cache.Config
+
+	// Slow-path model parameters.
+	SlowFetchWidth    int
+	MispredictPenalty int
+	L2Lat             int
+
+	// Slow-path predictor sizes.
+	BimodalEntries int
+	RASDepth       int
+	TargetEntries  int
+
+	Pred tpred.Config
+
+	// Precon configures the engine; Select must already be merged in
+	// (Precon.Select is the trace-selection rule set shared with the
+	// demand path).
+	Precon precon.Config
+
+	PreprocEnabled   bool
+	ObserveWrongPath bool
+}
+
+// PreconEnabled reports whether the preconstruction engine is wired.
+func (c Config) PreconEnabled() bool { return c.Buffers.Entries > 0 }
+
+// SupplierStats counts one supplier's share of trace supply as seen by
+// the frontend's probe loop (the supplier's own store counters remain
+// available through its Stats method).
+type SupplierStats struct {
+	Name   string
+	Probes uint64 // times the probe loop reached this supplier
+	Hits   uint64 // probes that supplied the demanded trace
+	Fills  uint64 // traces inserted into the supplier's store
+}
+
+// HitRate returns Hits/Probes (0 when never probed).
+func (s SupplierStats) HitRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Probes)
+}
+
+// SlowPathStats counts the conventional fetch path's work building
+// traces no supplier could provide.
+type SlowPathStats struct {
+	Builds             uint64 // demanded traces built by the slow path
+	Instrs             uint64 // instructions supplied by the i-cache
+	ICAccesses         uint64 // slow-path line accesses
+	ICMisses           uint64 // slow-path i-cache misses
+	InstrsFromICMisses uint64 // instructions supplied under a miss
+	BranchMisp         uint64 // bimodal/RAS/target mispredicts
+}
+
+// Stats is the frontend's own measurement of trace supply: who supplied
+// each demanded trace, what the slow path cost, and how the shared
+// i-cache port was shared.
+type Stats struct {
+	Suppliers []SupplierStats
+	Slow      SlowPathStats
+	Port      PortStats
+}
+
+// SupplierHitRate returns supplier i's hit rate (0 when absent).
+func (s Stats) SupplierHitRate(i int) float64 {
+	if i < 0 || i >= len(s.Suppliers) {
+		return 0
+	}
+	return s.Suppliers[i].HitRate()
+}
+
+// supplierSlot binds a wired supplier to the design-specific hooks the
+// composition root needs beyond the probe contract (drain, occupancy,
+// native counters). The hooks are fixed at wiring time so the supply
+// loop and the maintenance paths stay free of design conditionals.
+type supplierSlot struct {
+	name      string
+	s         TraceSupplier
+	drain     func()
+	occupancy func() int
+	counters  func() tracecache.Stats
+}
+
+// Supply reports how one demanded trace was supplied.
+type Supply struct {
+	// Trace is the supplied trace: the resident copy on a hit, the
+	// interned build on a miss. Demand is the trace to train the
+	// next-trace predictor with and to dispatch on a miss (the same
+	// underlying content as the caller's borrowed trace).
+	Trace  *trace.Trace
+	Demand *trace.Trace
+
+	ID       trace.ID
+	Hit      bool
+	Supplier int // probe-order index of the supplying store; -1 slow path
+
+	// FetchLat is the frontend fetch latency (1 on a hit, the slow
+	// path's modeled latency on a miss); SlowBusy the cycles the miss
+	// held the i-cache port.
+	FetchLat uint64
+	SlowBusy uint64
+
+	// Next-trace prediction for this slot.
+	PredID  trace.ID
+	PredOK  bool
+	PredHit bool
+}
+
+// Frontend is the composition root: it owns the supplier probe order,
+// routes fills, runs the slow path on misses, and hosts the shared
+// fetch-side state (predictors, intern store, precon engine, port).
+type Frontend struct {
+	cfg   Config
+	im    *program.Image
+	store *trace.Store
+
+	suppliers []supplierSlot
+	primary   PrimarySupplier
+
+	ic   *cache.Cache
+	port *SlowPathPort
+	bim  *bpred.Bimodal
+	ras  *bpred.RAS
+	itb  *bpred.TargetBuffer
+	pred *tpred.Predictor
+	eng  *precon.Engine
+
+	// partition reports the adaptive store's feedback state; nil for
+	// split designs.
+	partition func() (share float64, adjusts uint64)
+
+	stats Stats
+}
+
+// New wires a frontend: the design's suppliers in probe order, the
+// primary fill target, the arbitrated slow-path port, the predictors,
+// and (when buffers are configured) the preconstruction engine behind
+// the port.
+func New(im *program.Image, cfg Config) (*Frontend, error) {
+	f := &Frontend{cfg: cfg, im: im, store: trace.NewStore()}
+	var err error
+	if f.ic, err = cache.New(cfg.ICache); err != nil {
+		return nil, err
+	}
+	f.port = NewSlowPathPort(f.ic)
+	if f.bim, err = bpred.NewBimodal(cfg.BimodalEntries); err != nil {
+		return nil, err
+	}
+	if f.ras, err = bpred.NewRAS(cfg.RASDepth); err != nil {
+		return nil, err
+	}
+	if f.itb, err = bpred.NewTargetBuffer(cfg.TargetEntries); err != nil {
+		return nil, err
+	}
+	if f.pred, err = tpred.New(cfg.Pred); err != nil {
+		return nil, err
+	}
+
+	// Supplier wiring: probe order is primary first, preconstruction
+	// buffers second. Everything design-specific is bound here, once.
+	var engTC precon.TraceStore
+	var engBuf precon.BufferStore
+	if cfg.AdaptivePartition {
+		unified := tracecache.Config{
+			Entries: cfg.TraceCache.Entries + cfg.Buffers.Entries,
+			Assoc:   cfg.TraceCache.Assoc,
+		}
+		adpt, err := tracecache.NewAdaptive(unified)
+		if err != nil {
+			return nil, err
+		}
+		adpt.SetStore(f.store)
+		pb := adpt.PBView()
+		f.primary = adpt
+		f.addSupplier(supplierSlot{
+			name:      "trace-cache",
+			s:         adpt,
+			drain:     adpt.Drain,
+			occupancy: func() int { tc, _ := adpt.Occupancy(); return tc },
+			counters:  adpt.Stats,
+		})
+		f.addSupplier(supplierSlot{
+			name:      "precon-buffers",
+			s:         pb,
+			drain:     func() {}, // one container: primary's drain empties both roles
+			occupancy: func() int { _, pb := adpt.Occupancy(); return pb },
+			counters:  adpt.PBStatsView,
+		})
+		f.partition = func() (float64, uint64) {
+			return adpt.TargetPBShare(), adpt.Adjustments()
+		}
+		engTC, engBuf = adpt, pb
+	} else {
+		tcc, err := tracecache.New(cfg.TraceCache)
+		if err != nil {
+			return nil, err
+		}
+		tcc.SetStore(f.store)
+		f.primary = tcc
+		f.addSupplier(supplierSlot{
+			name:      "trace-cache",
+			s:         tcc,
+			drain:     tcc.Drain,
+			occupancy: tcc.Occupancy,
+			counters:  tcc.Stats,
+		})
+		engTC = tcc
+		if cfg.PreconEnabled() {
+			bufc, err := tracecache.NewBuffers(cfg.Buffers)
+			if err != nil {
+				return nil, err
+			}
+			bufc.SetStore(f.store)
+			f.addSupplier(supplierSlot{
+				name:      "precon-buffers",
+				s:         bufc,
+				drain:     bufc.Drain,
+				occupancy: bufc.Occupancy,
+				counters:  bufc.Stats,
+			})
+			engBuf = bufc
+		}
+	}
+	if cfg.PreconEnabled() {
+		if f.eng, err = precon.New(cfg.Precon, im, f.bim, f.port, engTC, engBuf); err != nil {
+			return nil, err
+		}
+		f.eng.SetStore(f.store)
+		if cfg.Precon.ResolveIndirects {
+			f.eng.SetTargetBuffer(f.itb)
+		}
+	}
+	return f, nil
+}
+
+// MustNew builds a frontend, panicking on config error.
+func MustNew(im *program.Image, cfg Config) *Frontend {
+	f, err := New(im, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *Frontend) addSupplier(s supplierSlot) {
+	f.suppliers = append(f.suppliers, s)
+	f.stats.Suppliers = append(f.stats.Suppliers, SupplierStats{Name: s.name})
+}
+
+// Supply answers one trace demand: predict the next trace, notify the
+// engine of the demand fetch, probe the suppliers in order, and on a
+// full miss build the trace through the slow path and fill the primary
+// supplier. tr is borrowed from the caller's segmenter — the miss path
+// interns it before it escapes into a store.
+func (f *Frontend) Supply(tr *trace.Trace, dyns []emulator.Dyn) Supply {
+	id := tr.ID()
+	sup := Supply{Trace: tr, Demand: tr, ID: id, Supplier: -1}
+	sup.PredID, sup.PredOK = f.pred.Predict()
+	sup.PredHit = sup.PredOK && sup.PredID == id
+
+	if f.eng != nil {
+		f.eng.OnDemandFetch(id.Start)
+	}
+
+	for i := range f.suppliers {
+		f.stats.Suppliers[i].Probes++
+		got, hit, promote := f.suppliers[i].s.Probe(id)
+		if !hit {
+			continue
+		}
+		f.stats.Suppliers[i].Hits++
+		if f.cfg.PreprocEnabled && got.Opt == nil {
+			got.Opt = preproc.Optimize(got)
+		}
+		if promote {
+			// §3.1: a buffer hit is copied into the trace cache (the
+			// supplier consumed its entry; ownership moves with Fill).
+			f.primary.Fill(got)
+		}
+		sup.Trace = got
+		sup.Hit = true
+		sup.Supplier = i
+		sup.FetchLat = 1 // single-cycle trace cache read
+		return sup
+	}
+
+	// Full miss: the conventional fetch path builds the trace and the
+	// primary supplier retains it.
+	sup.FetchLat, sup.SlowBusy = f.slowPath(tr, dyns)
+	tr = f.store.Intern(tr)
+	if f.cfg.PreprocEnabled && tr.Opt == nil {
+		tr.Opt = preproc.Optimize(tr)
+	}
+	f.primary.Fill(tr)
+	sup.Trace = tr
+	sup.Demand = tr
+	return sup
+}
+
+// ReplayWrongPath feeds the predicted-but-wrong trace's dispatch to the
+// preconstruction engine as a speculative path, then flushes it — the
+// machine dispatched the wrong trace before the mispredicted branch
+// resolved, and the engine's start-point stack observed that path. The
+// caller invokes this only on a next-trace misprediction (PredOK and
+// not PredHit).
+func (f *Frontend) ReplayWrongPath(predID, actual trace.ID) {
+	if f.eng == nil || !f.cfg.ObserveWrongPath {
+		return
+	}
+	wrong, ok := f.primary.Peek(predID)
+	if !ok || predID == actual {
+		return
+	}
+	br := 0
+	for k, in := range wrong.Insts {
+		d := emulator.Dyn{PC: wrong.PCs[k], Inst: in}
+		if in.IsBranch() {
+			d.Taken = wrong.BrMask&(1<<br) != 0
+			br++
+		}
+		f.eng.ObserveSpeculative(d)
+	}
+	f.eng.FlushSpeculation()
+}
+
+// Retire closes one demanded trace's slot: grant the engine the cycles
+// the slow path left the port idle, let it observe the retiring
+// dispatch stream, train the slow-path predictors from the resolved
+// stream, and train the next-trace predictor with the actual trace.
+func (f *Frontend) Retire(demand *trace.Trace, idle int64, dyns []emulator.Dyn) {
+	if f.eng != nil {
+		if idle > 0 {
+			f.eng.Step(int(idle))
+		}
+		f.eng.ObserveBatch(dyns)
+	}
+	for i := range dyns {
+		d := &dyns[i]
+		switch d.Inst.Classify() {
+		case isa.ClassBranch:
+			f.bim.Update(d.PC, d.Taken)
+		case isa.ClassJumpInd:
+			f.itb.Update(d.PC, d.NextPC)
+		}
+	}
+	f.pred.Update(demand)
+}
+
+// Stats snapshots the frontend's supply, slow-path and port counters.
+func (f *Frontend) Stats() Stats {
+	st := f.stats
+	st.Suppliers = make([]SupplierStats, len(f.stats.Suppliers))
+	copy(st.Suppliers, f.stats.Suppliers)
+	for i := range st.Suppliers {
+		st.Suppliers[i].Fills = f.suppliers[i].counters().Inserts
+	}
+	st.Port = f.port.Stats()
+	return st
+}
+
+// PredStats returns the next-trace predictor's counters.
+func (f *Frontend) PredStats() tpred.Stats { return f.pred.Stats() }
+
+// PreconStats returns the engine's counters (zero value when disabled).
+func (f *Frontend) PreconStats() precon.Stats {
+	if f.eng == nil {
+		return precon.Stats{}
+	}
+	return f.eng.Stats()
+}
+
+// StoreStats returns the intern store's counters.
+func (f *Frontend) StoreStats() trace.StoreStats { return f.store.Stats() }
+
+// TotalICMisses returns all i-cache misses, demand and engine-induced.
+func (f *Frontend) TotalICMisses() uint64 { return f.ic.Stats().Misses }
+
+// AdaptiveStats returns the adaptive partition's feedback state; ok is
+// false for split designs.
+func (f *Frontend) AdaptiveStats() (share float64, adjusts uint64, ok bool) {
+	if f.partition == nil {
+		return 0, 0, false
+	}
+	share, adjusts = f.partition()
+	return share, adjusts, true
+}
+
+// Engine exposes the preconstruction engine (nil when disabled).
+func (f *Frontend) Engine() *precon.Engine { return f.eng }
+
+// Store exposes the intern store backing every supplier.
+func (f *Frontend) Store() *trace.Store { return f.store }
+
+// Port exposes the slow-path port arbiter.
+func (f *Frontend) Port() *SlowPathPort { return f.port }
+
+// Drain empties every supplier, returning interned references to the
+// store (the leak invariant: after Drain the store holds zero live
+// traces).
+func (f *Frontend) Drain() {
+	for i := range f.suppliers {
+		f.suppliers[i].drain()
+	}
+}
+
+// Occupancy sums resident traces across suppliers.
+func (f *Frontend) Occupancy() int {
+	n := 0
+	for i := range f.suppliers {
+		n += f.suppliers[i].occupancy()
+	}
+	return n
+}

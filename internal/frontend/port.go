@@ -1,0 +1,24 @@
+package frontend
+
+import (
+	"tracepre/internal/cache"
+	"tracepre/internal/precon"
+)
+
+// SlowPathPort arbitrates the single slow-path instruction cache port
+// between demand fetch and the preconstruction engine; it is part of
+// the frontend's contract surface (Config wires it, Stats reports it).
+// The concrete implementation lives in internal/precon so the engine's
+// line fetch is a devirtualized call that inlines into the construction
+// walk — see precon.SlowPathPort for the arbitration semantics, and
+// port_test.go here for the contract proofs (demand always wins, the
+// engine steals only idle cycles).
+type SlowPathPort = precon.SlowPathPort
+
+// PortStats counts both sides of the slow-path port.
+type PortStats = precon.PortStats
+
+// NewSlowPathPort wraps the slow-path instruction cache in the arbiter.
+func NewSlowPathPort(ic *cache.Cache) *SlowPathPort {
+	return precon.NewSlowPathPort(ic)
+}

@@ -1,17 +1,40 @@
-package pipeline
+package frontend
 
 import (
 	"testing"
 
+	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/isa"
+	"tracepre/internal/precon"
 	"tracepre/internal/program"
+	"tracepre/internal/tpred"
 	"tracepre/internal/trace"
+	"tracepre/internal/tracecache"
 )
 
-// slowRig builds a simulator around a straight-line image so slowPath
+// testConfig mirrors the fetch-side slice of pipeline.DefaultConfig():
+// the paper's machine with preconstruction disabled.
+func testConfig() Config {
+	return Config{
+		TraceCache:        tracecache.Config{Entries: 512, Assoc: 2},
+		Buffers:           tracecache.Config{Entries: 0, Assoc: 2},
+		ICache:            cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4},
+		SlowFetchWidth:    4,
+		MispredictPenalty: 5,
+		L2Lat:             10,
+		BimodalEntries:    1 << 14,
+		RASDepth:          16,
+		TargetEntries:     1 << 10,
+		Pred:              tpred.DefaultConfig(),
+		Precon:            precon.DefaultConfig(),
+		ObserveWrongPath:  true,
+	}
+}
+
+// slowRig builds a frontend around a straight-line image so slowPath
 // can be called directly on crafted traces.
-func slowRig(t *testing.T, n int) *Simulator {
+func slowRig(t *testing.T, n int) *Frontend {
 	t.Helper()
 	b := program.NewBuilder(0x1000)
 	for i := 0; i < n; i++ {
@@ -22,7 +45,7 @@ func slowRig(t *testing.T, n int) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return MustNew(im, DefaultConfig())
+	return MustNew(im, testConfig())
 }
 
 // mkSeq builds a trace plus dyns from sequential straight-line PCs.
@@ -43,57 +66,63 @@ func mkSeq(start uint32, n int) (*trace.Trace, []emulator.Dyn) {
 // TestSlowPathGroupAccounting: a 16-instruction straight-line trace
 // within one 64-byte line at width 4 costs exactly 4 busy cycles.
 func TestSlowPathGroupAccounting(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	tr, dyns := mkSeq(0x1000, 16) // 0x1000..0x103c: one line
-	fetchLat, busy := s.slowPath(tr, dyns)
+	fetchLat, busy := f.slowPath(tr, dyns)
 	if busy != 4 {
 		t.Errorf("busy = %d, want 4", busy)
 	}
 	// One cold line miss: fetchLat = busy + L2Lat.
-	want := busy + uint64(s.cfg.Backend.L2Lat)
+	want := busy + uint64(f.cfg.L2Lat)
 	if fetchLat != want {
 		t.Errorf("fetchLat = %d, want %d", fetchLat, want)
 	}
-	if s.res.SlowPathInstrs != 16 {
-		t.Errorf("SlowPathInstrs = %d", s.res.SlowPathInstrs)
+	if f.stats.Slow.Instrs != 16 {
+		t.Errorf("Slow.Instrs = %d", f.stats.Slow.Instrs)
 	}
-	if s.res.SlowICMisses != 1 || s.res.SlowICAccesses != 1 {
-		t.Errorf("accesses/misses = %d/%d", s.res.SlowICAccesses, s.res.SlowICMisses)
+	if f.stats.Slow.ICMisses != 1 || f.stats.Slow.ICAccesses != 1 {
+		t.Errorf("accesses/misses = %d/%d", f.stats.Slow.ICAccesses, f.stats.Slow.ICMisses)
 	}
 	// Every instruction came from a line that missed.
-	if s.res.InstrsFromICMisses != 16 {
-		t.Errorf("InstrsFromICMisses = %d", s.res.InstrsFromICMisses)
+	if f.stats.Slow.InstrsFromICMisses != 16 {
+		t.Errorf("InstrsFromICMisses = %d", f.stats.Slow.InstrsFromICMisses)
+	}
+	// The port saw the same demand traffic the slow path counted, and
+	// charged the busy cycles to the demand side.
+	if ps := f.port.Stats(); ps.DemandAccesses != 1 || ps.DemandBusyCycles != busy {
+		t.Errorf("port demand accesses/busy = %d/%d, want 1/%d",
+			ps.DemandAccesses, ps.DemandBusyCycles, busy)
 	}
 }
 
 // TestSlowPathWarmLine: refetching the same line is miss-free and
 // contributes no miss-supplied instructions.
 func TestSlowPathWarmLine(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	tr, dyns := mkSeq(0x1000, 16)
-	s.slowPath(tr, dyns)
-	missBefore := s.res.SlowICMisses
-	fetchLat, busy := s.slowPath(tr, dyns)
-	if s.res.SlowICMisses != missBefore {
+	f.slowPath(tr, dyns)
+	missBefore := f.stats.Slow.ICMisses
+	fetchLat, busy := f.slowPath(tr, dyns)
+	if f.stats.Slow.ICMisses != missBefore {
 		t.Error("warm refetch missed")
 	}
 	if fetchLat != busy {
 		t.Errorf("warm fetchLat %d != busy %d", fetchLat, busy)
 	}
-	if s.res.InstrsFromICMisses != 16 {
-		t.Errorf("warm instructions counted as miss-supplied: %d", s.res.InstrsFromICMisses)
+	if f.stats.Slow.InstrsFromICMisses != 16 {
+		t.Errorf("warm instructions counted as miss-supplied: %d", f.stats.Slow.InstrsFromICMisses)
 	}
 }
 
 // TestSlowPathLineCrossing: a trace spanning two lines costs two
 // accesses and the line boundary starts a new fetch group.
 func TestSlowPathLineCrossing(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	// Start 2 instructions before a line boundary: 0x1038..0x1077.
 	tr, dyns := mkSeq(0x1038, 8)
-	_, busy := s.slowPath(tr, dyns)
-	if s.res.SlowICAccesses != 2 {
-		t.Errorf("accesses = %d, want 2", s.res.SlowICAccesses)
+	_, busy := f.slowPath(tr, dyns)
+	if f.stats.Slow.ICAccesses != 2 {
+		t.Errorf("accesses = %d, want 2", f.stats.Slow.ICAccesses)
 	}
 	// Groups: [2 instrs][4][2] = 3 busy cycles.
 	if busy != 3 {
@@ -104,7 +133,7 @@ func TestSlowPathLineCrossing(t *testing.T) {
 // TestSlowPathTakenBranchBreaksGroup: noncontiguous PCs force a new
 // group even within one line.
 func TestSlowPathTakenBranchBreaksGroup(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	tr := &trace.Trace{}
 	var dyns []emulator.Dyn
 	add := func(pc uint32, in isa.Inst, d emulator.Dyn) {
@@ -118,9 +147,9 @@ func TestSlowPathTakenBranchBreaksGroup(t *testing.T) {
 	in := isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1}
 	add(0x1020, in, emulator.Dyn{PC: 0x1020, Inst: in, NextPC: 0x1024})
 	add(0x1024, in, emulator.Dyn{PC: 0x1024, Inst: in, NextPC: 0x1028})
-	_, busy := s.slowPath(tr, dyns)
-	if s.res.SlowICAccesses != 1 {
-		t.Errorf("accesses = %d, want 1 (same line)", s.res.SlowICAccesses)
+	_, busy := f.slowPath(tr, dyns)
+	if f.stats.Slow.ICAccesses != 1 {
+		t.Errorf("accesses = %d, want 1 (same line)", f.stats.Slow.ICAccesses)
 	}
 	if busy != 2 {
 		t.Errorf("busy = %d, want 2 (branch splits the group)", busy)
@@ -130,40 +159,40 @@ func TestSlowPathTakenBranchBreaksGroup(t *testing.T) {
 // TestSlowPathBranchPenalties: bimodal mispredictions charge the
 // configured penalty into the fetch latency.
 func TestSlowPathBranchPenalties(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	br := isa.Inst{Op: isa.OpBne, Ra: 1, Rb: 0, Imm: 0x40}
 	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{br}}
 	dyns := []emulator.Dyn{{PC: 0x1000, Inst: br, Taken: false, NextPC: 0x1004}}
 	// Reset state is weakly taken; the not-taken outcome mispredicts.
-	fetchLat, busy := s.slowPath(tr, dyns)
-	wantPenalty := uint64(s.cfg.MispredictPenalty)
+	fetchLat, busy := f.slowPath(tr, dyns)
+	wantPenalty := uint64(f.cfg.MispredictPenalty)
 	if fetchLat < busy+wantPenalty {
 		t.Errorf("fetchLat %d missing mispredict penalty", fetchLat)
 	}
-	if s.res.SlowBranchMisp != 1 {
-		t.Errorf("mispredicts = %d", s.res.SlowBranchMisp)
+	if f.stats.Slow.BranchMisp != 1 {
+		t.Errorf("mispredicts = %d", f.stats.Slow.BranchMisp)
 	}
 }
 
 // TestSlowPathRASPenalty: a return with an empty or wrong RAS charges a
 // penalty; after a matching call it does not.
 func TestSlowPathRASPenalty(t *testing.T) {
-	s := slowRig(t, 64)
+	f := slowRig(t, 64)
 	ret := isa.Inst{Op: isa.OpJr, Ra: isa.RegLink}
 	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{ret}, EndsInReturn: true}
 	dyns := []emulator.Dyn{{PC: 0x1000, Inst: ret, NextPC: 0x2004}}
-	s.slowPath(tr, dyns)
-	if s.res.SlowBranchMisp != 1 {
-		t.Fatalf("empty-RAS return not penalized: %d", s.res.SlowBranchMisp)
+	f.slowPath(tr, dyns)
+	if f.stats.Slow.BranchMisp != 1 {
+		t.Fatalf("empty-RAS return not penalized: %d", f.stats.Slow.BranchMisp)
 	}
 	// Now a call followed by the matching return predicts cleanly.
 	call := isa.Inst{Op: isa.OpJal, Target: 0x1000}
 	trCall := &trace.Trace{PCs: []uint32{0x2000}, Insts: []isa.Inst{call}}
 	dynsCall := []emulator.Dyn{{PC: 0x2000, Inst: call, NextPC: 0x1000}}
-	s.slowPath(trCall, dynsCall)
-	before := s.res.SlowBranchMisp
-	s.slowPath(tr, dyns)
-	if s.res.SlowBranchMisp != before {
+	f.slowPath(trCall, dynsCall)
+	before := f.stats.Slow.BranchMisp
+	f.slowPath(tr, dyns)
+	if f.stats.Slow.BranchMisp != before {
 		t.Errorf("matched return penalized")
 	}
 }

@@ -67,6 +67,28 @@ var (
 	InternReleasedPerKI = Metric{"intern-released/KI", func(r pipeline.Result) float64 {
 		return stats.PerKI(r.Intern.Released, r.Instructions)
 	}}
+	// TCHitRate is the primary supplier's (trace cache's) hit rate as
+	// seen by the frontend's probe loop: hits over demanded traces.
+	TCHitRate = Metric{"tc-hit-rate", func(r pipeline.Result) float64 {
+		return r.Frontend.SupplierHitRate(0)
+	}}
+	// PBHitRate is the second supplier's (preconstruction buffers')
+	// hit rate — probed only on primary misses, so hits over those.
+	PBHitRate = Metric{"pb-hit-rate", func(r pipeline.Result) float64 {
+		return r.Frontend.SupplierHitRate(1)
+	}}
+	// SlowPathPortContention is the fraction of the preconstruction
+	// engine's line-fetch requests the arbitrated i-cache port denied
+	// (per-idle-cycle budget spent): how far the engine's appetite
+	// exceeds the idle port cycles the paper assumes it can steal.
+	SlowPathPortContention = Metric{"slowpath-port-contention", func(r pipeline.Result) float64 {
+		return r.Frontend.Port.Contention()
+	}}
+	// PortIdleCyclesPerKI is idle slow-path port cycles granted to the
+	// engine per 1000 committed instructions.
+	PortIdleCyclesPerKI = Metric{"port-idle-cycles/KI", func(r pipeline.Result) float64 {
+		return stats.PerKI(r.Frontend.Port.IdleCycles, r.Instructions)
+	}}
 )
 
 // SpeedupPct is the derived speedup-vs-baseline-cell metric: the

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"tracepre/internal/cache"
+	"tracepre/internal/frontend"
 	"tracepre/internal/precon"
 	"tracepre/internal/tpred"
 	"tracepre/internal/trace"
@@ -158,6 +159,31 @@ func (c Config) WithTraceCache(entries int) Config {
 
 // PreconEnabled reports whether preconstruction is configured.
 func (c Config) PreconEnabled() bool { return c.Buffers.Entries > 0 }
+
+// frontendConfig slices the fetch-side configuration out for the
+// frontend composition root (trace selection rules are merged into the
+// precon config, and the backend's L2 latency prices slow-path i-cache
+// misses, as before the decomposition).
+func (c Config) frontendConfig() frontend.Config {
+	pcfg := c.Precon
+	pcfg.Select = c.Select
+	return frontend.Config{
+		TraceCache:        c.TraceCache,
+		Buffers:           c.Buffers,
+		AdaptivePartition: c.AdaptivePartition,
+		ICache:            c.ICache,
+		SlowFetchWidth:    c.SlowFetchWidth,
+		MispredictPenalty: c.MispredictPenalty,
+		L2Lat:             c.Backend.L2Lat,
+		BimodalEntries:    c.BimodalEntries,
+		RASDepth:          c.RASDepth,
+		TargetEntries:     c.TargetEntries,
+		Pred:              c.Pred,
+		Precon:            pcfg,
+		PreprocEnabled:    c.PreprocEnabled,
+		ObserveWrongPath:  c.ObserveWrongPath,
+	}
+}
 
 // Validate checks the full configuration.
 func (c Config) Validate() error {

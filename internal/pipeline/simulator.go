@@ -6,16 +6,13 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"tracepre/internal/bpred"
 	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
-	"tracepre/internal/isa"
+	"tracepre/internal/frontend"
 	"tracepre/internal/precon"
-	"tracepre/internal/preproc"
 	"tracepre/internal/program"
 	"tracepre/internal/tpred"
 	"tracepre/internal/trace"
-	"tracepre/internal/tracecache"
 )
 
 // Result aggregates everything a run measured. The accessor methods
@@ -56,6 +53,11 @@ type Result struct {
 
 	Pred   tpred.Stats
 	Precon precon.Stats
+
+	// Frontend reports the composed fetch side's own accounting:
+	// per-supplier probe/hit/fill counts, slow-path work, and the
+	// demand/engine sharing of the i-cache port (frontend.Stats).
+	Frontend frontend.Stats
 
 	// Intern reports trace-store activity: intern hit rate, live and
 	// limbo residency, slab footprint (see trace.StoreStats).
@@ -122,41 +124,18 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / float64(r.Cycles)
 }
 
-// traceCacheView is the primary trace cache as the frontend sees it.
-type traceCacheView interface {
-	Lookup(trace.ID) (*trace.Trace, bool)
-	Peek(trace.ID) (*trace.Trace, bool)
-	Insert(*trace.Trace)
-	Contains(trace.ID) bool
-}
-
-// bufferView is the preconstruction buffer array as the frontend sees
-// it: Take consumes an entry (the trace is copied to the trace cache).
-type bufferView interface {
-	Take(trace.ID) (*trace.Trace, bool)
-	Contains(trace.ID) bool
-	Insert(tr *trace.Trace, region uint64) bool
-}
-
 // Simulator is one configured trace processor bound to a program image.
+// The fetch side — trace suppliers, slow-path port, predictors, and the
+// preconstruction engine — lives in frontend.Frontend; the simulator
+// contributes wiring and timing: fetch/retire bookkeeping, the optional
+// full-timing backend, and windowed measurement.
 type Simulator struct {
 	cfg Config
 	im  *program.Image
 
-	tc    traceCacheView
-	buf   bufferView
-	tcc   *tracecache.TraceCache // non-nil in the split design
-	bufc  *tracecache.Buffers    // non-nil in the split design with precon
-	adpt  *tracecache.Adaptive   // non-nil when Config.AdaptivePartition
-	store *trace.Store           // interned trace storage, shared by tc/buf/eng
-	ic   *cache.Cache
-	dc   *cache.Cache
-	bim  *bpred.Bimodal
-	ras  *bpred.RAS
-	itb  *bpred.TargetBuffer
-	pred *tpred.Predictor
-	eng  *precon.Engine
-	be   *backend
+	fe *frontend.Frontend
+	dc *cache.Cache
+	be *backend
 
 	res Result
 	ran bool // Run/RunSource consumed this simulator
@@ -206,68 +185,18 @@ func returnDyns(bufp *[]emulator.Dyn, dyns []emulator.Dyn) {
 	dynPoolOutstanding.Add(-1)
 }
 
-// New builds a simulator for the image.
+// New builds a simulator for the image: a frontend composed from the
+// config's fetch-side slice, plus the optional full-timing backend.
 func New(im *program.Image, cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, im: im, store: trace.NewStore()}
-	var err error
-	if cfg.AdaptivePartition {
-		unified := tracecache.Config{
-			Entries: cfg.TraceCache.Entries + cfg.Buffers.Entries,
-			Assoc:   cfg.TraceCache.Assoc,
-		}
-		if s.adpt, err = tracecache.NewAdaptive(unified); err != nil {
-			return nil, err
-		}
-		s.adpt.SetStore(s.store)
-		s.tc = s.adpt
-		s.buf = s.adpt.PBView()
-	} else {
-		tc, err := tracecache.New(cfg.TraceCache)
-		if err != nil {
-			return nil, err
-		}
-		tc.SetStore(s.store)
-		s.tcc = tc
-		s.tc = tc
-	}
-	if s.ic, err = cache.New(cfg.ICache); err != nil {
+	s := &Simulator{cfg: cfg, im: im}
+	fe, err := frontend.New(im, cfg.frontendConfig())
+	if err != nil {
 		return nil, err
 	}
-	if s.bim, err = bpred.NewBimodal(cfg.BimodalEntries); err != nil {
-		return nil, err
-	}
-	if s.ras, err = bpred.NewRAS(cfg.RASDepth); err != nil {
-		return nil, err
-	}
-	if s.itb, err = bpred.NewTargetBuffer(cfg.TargetEntries); err != nil {
-		return nil, err
-	}
-	if s.pred, err = tpred.New(cfg.Pred); err != nil {
-		return nil, err
-	}
-	if cfg.PreconEnabled() {
-		if s.buf == nil {
-			buf, err := tracecache.NewBuffers(cfg.Buffers)
-			if err != nil {
-				return nil, err
-			}
-			buf.SetStore(s.store)
-			s.bufc = buf
-			s.buf = buf
-		}
-		pcfg := cfg.Precon
-		pcfg.Select = cfg.Select
-		if s.eng, err = precon.New(pcfg, im, s.bim, s.ic, s.tc, s.buf); err != nil {
-			return nil, err
-		}
-		s.eng.SetStore(s.store)
-		if pcfg.ResolveIndirects {
-			s.eng.SetTargetBuffer(s.itb)
-		}
-	}
+	s.fe = fe
 	if cfg.FullTiming {
 		if s.dc, err = cache.New(cfg.DCache); err != nil {
 			return nil, err
@@ -286,9 +215,12 @@ func MustNew(im *program.Image, cfg Config) *Simulator {
 	return s
 }
 
+// Frontend exposes the composed fetch side for diagnostics and tests.
+func (s *Simulator) Frontend() *frontend.Frontend { return s.fe }
+
 // PreconEngine exposes the preconstruction engine (nil when disabled)
 // for diagnostics and the anatomy example.
-func (s *Simulator) PreconEngine() *precon.Engine { return s.eng }
+func (s *Simulator) PreconEngine() *precon.Engine { return s.fe.Engine() }
 
 // Run executes up to budget committed instructions on a live emulator
 // and returns the measurements. Run may be called once per Simulator; a
@@ -374,52 +306,50 @@ func (s *Simulator) runSource(src emulator.Source, budget uint64) (Result, error
 // finalize folds the component statistics into the Result after the
 // stream is exhausted.
 func (s *Simulator) finalize() {
-	if s.eng != nil {
-		s.res.Precon = s.eng.Stats()
+	fs := s.fe.Stats()
+	s.res.Frontend = fs
+	s.res.TCHits = fs.Suppliers[0].Hits
+	for _, sp := range fs.Suppliers[1:] {
+		s.res.PreconSupplied += sp.Hits
 	}
-	s.res.Pred = s.pred.Stats()
+	s.res.TCMisses = fs.Slow.Builds
+	s.res.SlowPathInstrs = fs.Slow.Instrs
+	s.res.SlowICAccesses = fs.Slow.ICAccesses
+	s.res.SlowICMisses = fs.Slow.ICMisses
+	s.res.InstrsFromICMisses = fs.Slow.InstrsFromICMisses
+	s.res.SlowBranchMisp = fs.Slow.BranchMisp
+	s.res.TotalICMisses = s.fe.TotalICMisses()
+	s.res.Precon = s.fe.PreconStats()
+	s.res.Pred = s.fe.PredStats()
 	if s.be != nil {
 		s.res.Loads = s.be.loads
 		s.res.DCacheMisses = s.be.dcacheMisses
 		s.res.ARBForwards = s.be.arbForwards
 	}
-	s.res.TotalICMisses = s.ic.Stats().Misses
-	if s.adpt != nil {
-		s.res.AdaptivePBShare = s.adpt.TargetPBShare()
-		s.res.AdaptiveAdjusts = s.adpt.Adjustments()
+	if share, adjusts, ok := s.fe.AdaptiveStats(); ok {
+		s.res.AdaptivePBShare = share
+		s.res.AdaptiveAdjusts = adjusts
 	}
-	s.res.Intern = s.store.Stats()
+	s.res.Intern = s.fe.StoreStats()
 }
 
-// ReleaseStorage drains the trace cache and preconstruction buffers,
-// returning every interned trace's reference to the store. After a run,
-// ReleaseStorage must leave the store with zero live traces — the leak
-// invariant pinned by the pipeline tests. Useful when a caller keeps
-// many finished simulators around (sweeps) and wants their slab memory
-// reusable; a Simulator is single-use, so there is nothing to drain
-// twice.
-func (s *Simulator) ReleaseStorage() {
-	if s.tcc != nil {
-		s.tcc.Drain()
-	}
-	if s.bufc != nil {
-		s.bufc.Drain()
-	}
-	if s.adpt != nil {
-		s.adpt.Drain()
-	}
-}
+// ReleaseStorage drains every trace supplier, returning interned
+// references to the store. After a run, ReleaseStorage must leave the
+// store with zero live traces — the leak invariant pinned by the
+// pipeline tests. Useful when a caller keeps many finished simulators
+// around (sweeps) and wants their slab memory reusable; a Simulator is
+// single-use, so there is nothing to drain twice.
+func (s *Simulator) ReleaseStorage() { s.fe.Drain() }
 
 // InternStore exposes the simulator's trace store for tests and
 // diagnostics.
-func (s *Simulator) InternStore() *trace.Store { return s.store }
+func (s *Simulator) InternStore() *trace.Store { return s.fe.Store() }
 
-// onTrace processes one demanded trace through the frontend and charges
-// its timing. tr is borrowed from the segmenter (valid only for this
-// call); the miss path interns it before it escapes into the trace
-// cache.
+// onTrace processes one demanded trace — supplied by the frontend's
+// arbitration loop — and charges its timing. tr is borrowed from the
+// segmenter (valid only for this call); the frontend's miss path
+// interns it before it escapes into a store.
 func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
-	id := tr.ID()
 	n := tr.Len()
 	s.res.Traces++
 	s.res.Instructions += uint64(n)
@@ -427,68 +357,31 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 		s.window.Instructions += uint64(n)
 	}
 
-	predID, predOK := s.pred.Predict()
-	predHit := predOK && predID == id
-
-	if s.eng != nil {
-		s.eng.OnDemandFetch(id.Start)
-	}
-
-	// Probe the trace cache, then the preconstruction buffers.
-	supplied := tr
-	hit := false
-	if got, ok := s.tc.Lookup(id); ok {
-		supplied = got
-		hit = true
-		s.res.TCHits++
-	} else if s.buf != nil {
-		if got, ok := s.buf.Take(id); ok {
-			if s.cfg.PreprocEnabled && got.Opt == nil {
-				got.Opt = preproc.Optimize(got)
-			}
-			if s.adpt == nil {
-				// The adaptive store promotes in place; the split
-				// design copies the trace into the trace cache.
-				s.tc.Insert(got)
-			}
-			supplied = got
-			hit = true
-			s.res.PreconSupplied++
+	sup := s.fe.Supply(tr, dyns)
+	if sup.Hit {
+		if sup.Supplier > 0 {
 			s.window.PreconSupplied++
 		}
-	}
-
-	var fetchLat, slowBusy uint64
-	if hit {
-		fetchLat = 1 // single-cycle trace cache read
 	} else {
-		s.res.TCMisses++
 		s.window.TCMisses++
-		fetchLat, slowBusy = s.slowPath(tr, dyns)
-		tr = s.store.Intern(tr) // the trace cache retains it
-		if s.cfg.PreprocEnabled && tr.Opt == nil {
-			tr.Opt = preproc.Optimize(tr)
-		}
-		s.tc.Insert(tr)
-		supplied = tr
 	}
 
 	// Frontend timing: redirects delay the fetch after a next-trace
 	// misprediction until the offending branch resolved.
 	fetchStart := s.fetchFree
-	if !predHit {
+	if !sup.PredHit {
 		redirect := s.lastResolve + uint64(s.cfg.MispredictPenalty)
 		if redirect > fetchStart {
 			fetchStart = redirect
 		}
 	}
-	fetchDone := fetchStart + fetchLat
+	fetchDone := fetchStart + sup.FetchLat
 	s.fetchFree = fetchDone
 
 	var retire, resolve uint64
 	if s.be != nil {
-		preprocessed := s.cfg.PreprocEnabled && hit
-		retire, resolve = s.be.dispatch(supplied, dyns, fetchDone, preprocessed)
+		preprocessed := s.cfg.PreprocEnabled && sup.Hit
+		retire, resolve = s.be.dispatch(sup.Trace, dyns, fetchDone, preprocessed)
 	} else {
 		drain := uint64(float64(n)/s.cfg.FrontendIPC + 0.5)
 		if drain == 0 {
@@ -509,123 +402,17 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 	// On a next-trace misprediction the machine dispatched the wrong
 	// (predicted) trace before the branch resolved; the engine's stack
 	// observes that wrong path and flushes it at recovery.
-	if s.eng != nil && s.cfg.ObserveWrongPath && !predHit && predOK {
-		if wrong, ok := s.tc.Peek(predID); ok && predID != id {
-			br := 0
-			for k, in := range wrong.Insts {
-				d := emulator.Dyn{PC: wrong.PCs[k], Inst: in}
-				if in.IsBranch() {
-					d.Taken = wrong.BrMask&(1<<br) != 0
-					br++
-				}
-				s.eng.ObserveSpeculative(d)
-			}
-			s.eng.FlushSpeculation()
-		}
+	if !sup.PredHit && sup.PredOK {
+		s.fe.ReplayWrongPath(sup.PredID, sup.ID)
 	}
 
-	// Grant the preconstruction engine the cycles the slow path sat
-	// idle, then let it observe the dispatch stream — one batched call
-	// per demanded trace, not one virtual call per instruction.
-	if s.eng != nil {
-		idle := int64(retire-prevRetire) - int64(slowBusy)
-		if idle > 0 {
-			s.eng.Step(int(idle))
-		}
-		s.eng.ObserveBatch(dyns)
-	}
-
-	// Train the slow-path predictors from the resolved stream and the
-	// next-trace predictor with the actual trace.
-	for i := range dyns {
-		d := &dyns[i]
-		switch d.Inst.Classify() {
-		case isa.ClassBranch:
-			s.bim.Update(d.PC, d.Taken)
-		case isa.ClassJumpInd:
-			s.itb.Update(d.PC, d.NextPC)
-		}
-	}
-	s.pred.Update(tr)
+	// Grant the engine the cycles the slow path left the port idle,
+	// let it observe the dispatch stream, and train the predictors.
+	idle := int64(retire-prevRetire) - int64(sup.SlowBusy)
+	s.fe.Retire(sup.Demand, idle, dyns)
 
 	if s.cfg.WindowInstrs > 0 && s.window.Instructions >= s.cfg.WindowInstrs {
 		s.res.Windows = append(s.res.Windows, s.window)
 		s.window = WindowStat{}
 	}
-}
-
-// slowPath charges the conventional fetch path for building the trace:
-// line-granular i-cache accesses at SlowFetchWidth instructions per
-// cycle, L2 latency on misses, and per-branch prediction penalties from
-// the bimodal predictor, RAS and indirect target buffer. It returns the
-// total fetch latency and the cycles the i-cache port was busy.
-func (s *Simulator) slowPath(tr *trace.Trace, dyns []emulator.Dyn) (fetchLat, busy uint64) {
-	s.res.SlowPathInstrs += uint64(tr.Len())
-	var lastLine uint32
-	haveLine := false
-	lineMissed := false
-	groupCount := 0 // instructions fetched in the current cycle group
-	for i, pc := range tr.PCs {
-		line := s.ic.LineAddr(pc)
-		newGroup := false
-		if !haveLine || line != lastLine {
-			s.res.SlowICAccesses++
-			if !s.ic.Access(line) {
-				s.res.SlowICMisses++
-				fetchLat += uint64(s.cfg.Backend.L2Lat)
-				lineMissed = true
-			} else {
-				lineMissed = false
-			}
-			lastLine = line
-			haveLine = true
-			newGroup = true
-		}
-		// A taken control transfer ends the fetch group even within a
-		// line (one noncontiguous block per cycle).
-		if i > 0 {
-			prev := tr.PCs[i-1]
-			if pc != prev+isa.WordSize {
-				newGroup = true
-			}
-		}
-		if newGroup || groupCount == s.cfg.SlowFetchWidth {
-			busy++
-			groupCount = 0
-		}
-		groupCount++
-		if lineMissed {
-			s.res.InstrsFromICMisses++
-		}
-
-		// Per-branch prediction penalties.
-		in := tr.Insts[i]
-		d := &dyns[i]
-		switch in.Classify() {
-		case isa.ClassBranch:
-			if s.bim.Predict(pc) != d.Taken {
-				fetchLat += uint64(s.cfg.MispredictPenalty)
-				s.res.SlowBranchMisp++
-			}
-		case isa.ClassCall:
-			s.ras.Push(pc + isa.WordSize)
-		case isa.ClassReturn:
-			if target, ok := s.ras.Pop(); !ok || target != d.NextPC {
-				fetchLat += uint64(s.cfg.MispredictPenalty)
-				s.res.SlowBranchMisp++
-			}
-		case isa.ClassJumpInd:
-			if in.IsCall() {
-				s.ras.Push(pc + isa.WordSize)
-			}
-			// Training happens at retirement (onTrace) for all paths;
-			// here only the penalty is charged.
-			if target, ok := s.itb.Predict(pc); !ok || target != d.NextPC {
-				fetchLat += uint64(s.cfg.MispredictPenalty)
-				s.res.SlowBranchMisp++
-			}
-		}
-	}
-	fetchLat += busy
-	return fetchLat, busy
 }

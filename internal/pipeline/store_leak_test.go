@@ -6,22 +6,9 @@ import (
 	"tracepre/internal/workload"
 )
 
-// occupancy sums resident lines across whichever trace containers the
-// configuration instantiated.
-func occupancy(s *Simulator) int {
-	n := 0
-	if s.tcc != nil {
-		n += s.tcc.Occupancy()
-	}
-	if s.bufc != nil {
-		n += s.bufc.Occupancy()
-	}
-	if s.adpt != nil {
-		tc, pb := s.adpt.Occupancy()
-		n += tc + pb
-	}
-	return n
-}
+// occupancy sums resident lines across whichever trace suppliers the
+// configuration wired into the frontend.
+func occupancy(s *Simulator) int { return s.Frontend().Occupancy() }
 
 // TestStoreLeakInvariant is the ISSUE's leak contract: after a sweep of
 // runs across the paper's configuration space, every live interned

@@ -142,7 +142,7 @@ func (c *constructor) walk(n int) {
 	b := c.b
 	pc := c.pc
 	for i := 0; i < n; i++ {
-		if line := e.ic.LineAddr(pc); !c.lineOK || line != c.lastLine {
+		if line := e.icLineAddr(pc); !c.lineOK || line != c.lastLine {
 			if !e.fetchLine(c.reg, line) {
 				// Region completed (prefetch cache full; reset by
 				// engine), or this unit's fetch budget is spent — either
@@ -248,7 +248,7 @@ func (c *constructor) nextTraceFromStart() {
 // first trace start point.
 func (c *constructor) preWalkStep() {
 	r := c.reg
-	if line := c.e.ic.LineAddr(c.pc); !c.lineOK || line != c.lastLine {
+	if line := c.e.icLineAddr(c.pc); !c.lineOK || line != c.lastLine {
 		if !c.e.fetchLine(r, line) {
 			return
 		}

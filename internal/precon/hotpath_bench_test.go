@@ -51,7 +51,7 @@ func benchStream(tb testing.TB) ([]emulator.Dyn, *program.Image) {
 func benchEngine(tb testing.TB, im *program.Image, cfg Config) *Engine {
 	return MustNew(cfg, im,
 		bpred.MustNewBimodal(4096),
-		cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4}),
+		NewSlowPathPort(cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})),
 		tracecache.MustNew(tracecache.Config{Entries: 256, Assoc: 2}),
 		tracecache.MustNewBuffers(tracecache.Config{Entries: 256, Assoc: 2}))
 }

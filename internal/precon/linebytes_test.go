@@ -23,7 +23,7 @@ func newRigLines(t *testing.T, im *program.Image, cfg Config, icLine int) *rig {
 		tc:  tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2}),
 		buf: tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2}),
 	}
-	eng, err := New(cfg, im, r.bim, r.ic, r.tc, r.buf)
+	eng, err := New(cfg, im, r.bim, NewSlowPathPort(r.ic), r.tc, r.buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestLineBytesTooLargeForPrefetch(t *testing.T) {
 	cfg.PrefetchInstrs = 16
 	cfg.LineBytes = 128 // 16 instrs = 64 bytes < one line
 	_, err := New(cfg, im, bpred.MustNewBimodal(4096),
-		cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4}),
+		NewSlowPathPort(cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})),
 		tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2}),
 		tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2}))
 	if err == nil || !strings.Contains(err.Error(), "smaller than one") {

@@ -1,0 +1,110 @@
+package precon
+
+import "tracepre/internal/cache"
+
+// PortStats counts both sides of the slow-path port: demand fetch (the
+// conventional path building a missed trace) and the preconstruction
+// engine stealing idle cycles. It makes the paper's "the engine uses
+// only otherwise-idle i-cache port cycles" assumption measurable.
+type PortStats struct {
+	DemandAccesses   uint64 // demand-fetch line accesses (never denied)
+	DemandMisses     uint64 // demand-fetch accesses that missed
+	DemandBusyCycles uint64 // cycles the demand path held the port
+
+	IdleCycles    uint64 // idle cycles granted to the precon engine
+	PreconFetches uint64 // engine line fetches the port granted
+	PreconMisses  uint64 // granted fetches that missed the i-cache
+	PreconStalls  uint64 // engine fetch requests denied (budget spent)
+}
+
+// Contention returns the fraction of engine fetch requests the port
+// denied: 0 means the engine never wanted more than the idle cycles it
+// was granted; values near 1 mean preconstruction is port-starved.
+func (s PortStats) Contention() float64 {
+	asked := s.PreconFetches + s.PreconStalls
+	if asked == 0 {
+		return 0
+	}
+	return float64(s.PreconStalls) / float64(asked)
+}
+
+// SlowPathPort arbitrates the single slow-path instruction cache port
+// between demand fetch and the preconstruction engine. Demand has
+// absolute priority: DemandAccess is never denied and demand cycles
+// never become engine budget. The engine gets the port only through
+// BeginUnit — one granted fetch per work unit, where a work unit is one
+// cycle the demand path provably left idle (the simulator computes idle
+// cycles as retire-interval minus demand busy time before calling
+// Engine.Step).
+//
+// The type lives next to the engine (rather than in internal/frontend,
+// which re-exports it) so the engine's fetch path is a concrete call
+// that inlines into the construction walk; an interface here measurably
+// slows every sweep. Standalone engines (tests, examples) use the same
+// type with the demand side simply unexercised.
+type SlowPathPort struct {
+	ic     *cache.Cache
+	budget int
+	stats  PortStats
+}
+
+// NewSlowPathPort wraps the slow-path instruction cache in the arbiter.
+func NewSlowPathPort(ic *cache.Cache) *SlowPathPort {
+	return &SlowPathPort{ic: ic}
+}
+
+// ICache exposes the instruction cache behind the port (total-miss
+// accounting, line geometry).
+func (p *SlowPathPort) ICache() *cache.Cache { return p.ic }
+
+// LineBytes is the line size of the instruction cache behind the port
+// (used to derive prefetch-cache geometry when Config.LineBytes is
+// zero, and for line-address arithmetic).
+func (p *SlowPathPort) LineBytes() int { return p.ic.Config().LineBytes }
+
+// DemandAccess performs a demand-fetch line access. Demand wins
+// arbitration unconditionally: the access is never denied and consumes
+// none of the engine's idle-cycle budget. It reports whether the line
+// hit the i-cache.
+func (p *SlowPathPort) DemandAccess(line uint32) bool {
+	p.stats.DemandAccesses++
+	hit := p.ic.Access(line)
+	if !hit {
+		p.stats.DemandMisses++
+	}
+	return hit
+}
+
+// ChargeDemand records cycles the demand path held the port busy. Busy
+// cycles are exactly the cycles the engine can never be granted.
+func (p *SlowPathPort) ChargeDemand(busy uint64) {
+	p.stats.DemandBusyCycles += busy
+}
+
+// BeginUnit opens one granted idle cycle: the engine may fetch at most
+// one line before the next BeginUnit.
+func (p *SlowPathPort) BeginUnit() {
+	p.budget = 1
+	p.stats.IdleCycles++
+}
+
+// FetchLine requests one budgeted engine line fetch. A request past the
+// unit's budget is denied (granted=false; the constructor stalls and
+// retries next unit) and counted as contention; miss reports whether a
+// granted access missed the i-cache.
+func (p *SlowPathPort) FetchLine(line uint32) (granted, miss bool) {
+	if p.budget <= 0 {
+		p.stats.PreconStalls++
+		return false, false
+	}
+	p.budget--
+	p.stats.PreconFetches++
+	miss = !p.ic.Access(line)
+	if miss {
+		p.stats.PreconMisses++
+	}
+	return true, miss
+}
+
+// Stats returns a copy of the port counters.
+func (p *SlowPathPort) Stats() PortStats { return p.stats }

@@ -44,7 +44,6 @@ import (
 	"time"
 
 	"tracepre/internal/bpred"
-	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/isa"
 	"tracepre/internal/program"
@@ -53,6 +52,9 @@ import (
 
 // TraceStore is what the engine needs from the primary trace cache: a
 // residency probe, used to avoid buffering traces already cached.
+// It is the fill-side counterpart of the frontend's TraceSupplier
+// contract (internal/frontend), which the same stores implement for
+// the fetch side.
 type TraceStore interface {
 	Contains(trace.ID) bool
 }
@@ -218,12 +220,17 @@ func (s Stats) EngineNs() uint64 { return s.ObserveNs + s.StepNs }
 
 // Engine is the trace preconstruction unit.
 type Engine struct {
-	cfg Config
-	im  *program.Image
-	bim *bpred.Bimodal
-	ic  *cache.Cache
-	tc  TraceStore
-	buf BufferStore
+	cfg  Config
+	im   *program.Image
+	bim  *bpred.Bimodal
+	port *SlowPathPort
+	tc   TraceStore
+	buf  BufferStore
+
+	// icLineMask aligns addresses to the slow-path i-cache's line
+	// granularity (port.LineBytes()-1), resolved once so the walk loop
+	// does plain address arithmetic with no port call.
+	icLineMask uint32
 
 	// stack holds start points newest-last; entries retire by
 	// tombstone. stackLive counts non-dead entries and stackIdx
@@ -248,11 +255,6 @@ type Engine struct {
 	lineBytes int
 	lineShift uint
 	lineCap   int
-
-	// fetchBudget is the number of prefetch-cache line fills remaining
-	// in the current work unit: the engine shares a single instruction
-	// cache port, so it fetches at most one line per idle cycle.
-	fetchBudget int
 
 	// retireCheck is set when a region's walker count drops to zero —
 	// the only transition that can leave a region quiescent — so step
@@ -326,16 +328,19 @@ func (r *region) popWork() uint32 {
 	return v
 }
 
-// New builds an engine sharing the image, bimodal predictor, instruction
-// cache, trace cache and preconstruction buffers with the frontend.
-func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
+// New builds an engine sharing the image, bimodal predictor, slow-path
+// i-cache port, trace cache and preconstruction buffers with the
+// frontend. The port is the engine's only route to instruction lines:
+// in the composed frontend demand fetch shares it, standalone it wraps
+// a private cache with the demand side unexercised.
+func New(cfg Config, im *program.Image, bim *bpred.Bimodal, port *SlowPathPort,
 	tc TraceStore, buf BufferStore) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	lineBytes := cfg.LineBytes
 	if lineBytes == 0 {
-		lineBytes = ic.Config().LineBytes
+		lineBytes = port.LineBytes()
 	}
 	lineCap := cfg.PrefetchInstrs * isa.WordSize / lineBytes
 	if lineCap <= 0 {
@@ -343,17 +348,18 @@ func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 			cfg.PrefetchInstrs, lineBytes)
 	}
 	e := &Engine{
-		cfg:       cfg,
-		im:        im,
-		bim:       bim,
-		ic:        ic,
-		tc:        tc,
-		buf:       buf,
-		completed: make([]uint32, cfg.CompletedSlots),
-		regions:   make([]*region, cfg.NumRegions),
-		ctors:     make([]*constructor, cfg.NumConstructors),
-		lineBytes: lineBytes,
-		lineCap:   lineCap,
+		cfg:        cfg,
+		im:         im,
+		bim:        bim,
+		port:       port,
+		tc:         tc,
+		buf:        buf,
+		icLineMask: uint32(port.LineBytes() - 1),
+		completed:  make([]uint32, cfg.CompletedSlots),
+		regions:    make([]*region, cfg.NumRegions),
+		ctors:      make([]*constructor, cfg.NumConstructors),
+		lineBytes:  lineBytes,
+		lineCap:    lineCap,
 	}
 	for e.lineShift = 0; 1<<e.lineShift < lineBytes; e.lineShift++ {
 	}
@@ -364,9 +370,9 @@ func New(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 }
 
 // MustNew builds an engine, panicking on config error.
-func MustNew(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
+func MustNew(cfg Config, im *program.Image, bim *bpred.Bimodal, port *SlowPathPort,
 	tc TraceStore, buf BufferStore) *Engine {
-	e, err := New(cfg, im, bim, ic, tc, buf)
+	e, err := New(cfg, im, bim, port, tc, buf)
 	if err != nil {
 		panic(err)
 	}
@@ -375,6 +381,9 @@ func MustNew(cfg Config, im *program.Image, bim *bpred.Bimodal, ic *cache.Cache,
 
 // LineBytes returns the resolved prefetch-cache line size.
 func (e *Engine) LineBytes() int { return e.lineBytes }
+
+// icLineAddr aligns pc to the slow-path i-cache's line granularity.
+func (e *Engine) icLineAddr(pc uint32) uint32 { return pc &^ e.icLineMask }
 
 // Observe monitors one dispatched-and-retiring instruction for region
 // start-point events: calls push their return address, taken backward
@@ -603,7 +612,7 @@ func (e *Engine) newRegion() *region {
 	}
 	r := &region{worklist: make([]uint32, 0, e.cfg.WorklistCap)}
 	r.seen.init(e.cfg.WorklistCap * 2)
-	r.lines.initLines(e.ic.LineAddr(e.im.Base), e.im.End(), e.lineShift)
+	r.lines.initLines(e.icLineAddr(e.im.Base), e.im.End(), e.lineShift)
 	return r
 }
 
@@ -662,9 +671,9 @@ func (e *Engine) alreadyActive(addr uint32) bool {
 
 // fetchLine brings a line into a region's prefetch cache through the
 // shared instruction cache port. It returns false when the line is not
-// (yet) available: either the port's per-cycle budget is spent (the
-// constructor stalls and retries next unit) or the prefetch cache is
-// full (which terminates the region).
+// (yet) available: either the port denies the fetch (its per-unit
+// budget is spent, so the constructor stalls and retries next unit) or
+// the prefetch cache is full (which terminates the region).
 func (e *Engine) fetchLine(r *region, line uint32) bool {
 	if r.lines.has(line) {
 		return true
@@ -673,13 +682,13 @@ func (e *Engine) fetchLine(r *region, line uint32) bool {
 		e.completeRegion(r, &e.stats.RegionsExhausted)
 		return false
 	}
-	if e.fetchBudget <= 0 {
+	granted, miss := e.port.FetchLine(line)
+	if !granted {
 		return false
 	}
-	e.fetchBudget--
 	r.lines.add(line)
 	e.stats.LinesFetched++
-	if !e.ic.Access(line) {
+	if miss {
 		e.stats.ICacheMisses++
 	}
 	return true
@@ -761,7 +770,7 @@ func (e *Engine) step(units int) {
 			return
 		}
 		e.stats.WorkUnits++
-		e.fetchBudget = 1
+		e.port.BeginUnit()
 		e.activateRegions()
 		for _, c := range e.ctors {
 			if c.reg == nil {

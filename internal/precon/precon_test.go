@@ -31,7 +31,7 @@ func newRig(t *testing.T, im *program.Image, cfg Config) *rig {
 		tc:  tracecache.MustNew(tracecache.Config{Entries: 64, Assoc: 2}),
 		buf: tracecache.MustNewBuffers(tracecache.Config{Entries: 64, Assoc: 2}),
 	}
-	eng, err := New(cfg, im, r.bim, r.ic, r.tc, r.buf)
+	eng, err := New(cfg, im, r.bim, NewSlowPathPort(r.ic), r.tc, r.buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -742,7 +742,7 @@ func BenchmarkEngineStep(b *testing.B) {
 	ic := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
 	tc := tracecache.MustNew(tracecache.Config{Entries: 256, Assoc: 2})
 	buf := tracecache.MustNewBuffers(tracecache.Config{Entries: 256, Assoc: 2})
-	eng := MustNew(DefaultConfig(), im, bim, ic, tc, buf)
+	eng := MustNew(DefaultConfig(), im, bim, NewSlowPathPort(ic), tc, buf)
 	start, _ := im.Lookup("start")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -408,23 +408,39 @@ func (a *Adaptive) Occupancy() (tc, pb int) {
 	return tc, pb
 }
 
-// pbView adapts the buffer-role facet to the frontend's bufferView
-// protocol (Contains under the expected name).
-type pbView struct{ a *Adaptive }
-
-// PBView returns the buffer-role facet: Take/Contains/Insert.
-func (a *Adaptive) PBView() interface {
-	Take(trace.ID) (*trace.Trace, bool)
-	Contains(trace.ID) bool
-	Insert(tr *trace.Trace, region uint64) bool
-} {
-	return pbView{a}
+// Probe implements the frontend's TraceSupplier contract over the
+// trace-cache role. Adaptive hits never request promotion: the store
+// already is the primary.
+func (a *Adaptive) Probe(id trace.ID) (tr *trace.Trace, hit, promote bool) {
+	tr, hit = a.Lookup(id)
+	return tr, hit, false
 }
 
-func (v pbView) Take(id trace.ID) (*trace.Trace, bool) { return v.a.Take(id) }
-func (v pbView) Contains(id trace.ID) bool             { return v.a.ContainsPrecon(id) }
-func (v pbView) Insert(tr *trace.Trace, region uint64) bool {
+// Fill implements the frontend's PrimarySupplier contract: demand
+// fills land in trace-cache role.
+func (a *Adaptive) Fill(tr *trace.Trace) { a.Insert(tr) }
+
+// PBView is the buffer-role facet of an Adaptive store: the same
+// container presented under the preconstruction-buffer protocol
+// (frontend TraceSupplier on the fetch side, precon BufferStore on the
+// fill side). A Take/Probe hit flips the entry to trace-cache role in
+// place, so PBView hits never request promotion either.
+type PBView struct{ a *Adaptive }
+
+// PBView returns the buffer-role facet: Probe/Take/Contains/Insert.
+func (a *Adaptive) PBView() PBView { return PBView{a} }
+
+func (v PBView) Take(id trace.ID) (*trace.Trace, bool) { return v.a.Take(id) }
+func (v PBView) Contains(id trace.ID) bool             { return v.a.ContainsPrecon(id) }
+func (v PBView) Insert(tr *trace.Trace, region uint64) bool {
 	return v.a.InsertPrecon(tr, region)
+}
+
+// Probe implements the frontend's TraceSupplier contract over the
+// buffer role (a consuming Take: the hit entry changes role in place).
+func (v PBView) Probe(id trace.ID) (tr *trace.Trace, hit, promote bool) {
+	tr, hit = v.a.Take(id)
+	return tr, hit, false
 }
 
 // String describes the current partition for logs.

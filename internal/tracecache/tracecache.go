@@ -158,6 +158,18 @@ func (tc *TraceCache) Peek(id trace.ID) (*trace.Trace, bool) {
 	return nil, false
 }
 
+// Probe implements the frontend's TraceSupplier contract: a stamped,
+// counted Lookup. Trace-cache hits never request promotion — the cache
+// is the primary store.
+func (tc *TraceCache) Probe(id trace.ID) (tr *trace.Trace, hit, promote bool) {
+	tr, hit = tc.Lookup(id)
+	return tr, hit, false
+}
+
+// Fill implements the frontend's PrimarySupplier contract (demand-fill
+// routing); it is Insert under the contract's name.
+func (tc *TraceCache) Fill(tr *trace.Trace) { tc.Insert(tr) }
+
 // Insert places a trace, evicting the LRU way if the set is full. If the
 // trace is already present its LRU stamp is refreshed instead. Insert
 // takes ownership of the caller's reference to tr (see SetStore): the
@@ -297,6 +309,15 @@ func (b *Buffers) Take(id trace.ID) (*trace.Trace, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Probe implements the frontend's TraceSupplier contract: a consuming
+// Take. Buffer hits request promotion — §3.1 copies the trace into the
+// trace cache and invalidates the buffer, so the frontend must Fill
+// the returned trace into the primary supplier.
+func (b *Buffers) Probe(id trace.ID) (tr *trace.Trace, hit, promote bool) {
+	tr, hit = b.Take(id)
+	return tr, hit, hit
 }
 
 // Contains reports residency without consuming the entry.
