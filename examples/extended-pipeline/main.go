@@ -6,7 +6,10 @@
 // throughput). It then dissects the combined machine's composed
 // frontend (internal/frontend): which supplier answered each trace
 // demand, and how the single slow-path i-cache port was shared between
-// demand fetch and the preconstruction engine.
+// demand fetch and the preconstruction engine. Finally it swaps the
+// flat perfect-L2 constant for a modeled shared L2 (internal/mem) and
+// shows who the memory level actually serves: demand fetch, loads, or
+// the engine's stolen line fetches.
 //
 //	go run ./examples/extended-pipeline [benchmark]
 package main
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"tracepre/internal/core"
+	"tracepre/internal/mem"
 )
 
 func main() {
@@ -83,4 +87,26 @@ func main() {
 		port.DemandAccesses, port.DemandBusyCycles)
 	fmt.Printf("  %d of %d idle cycles, denied %d requests (contention %.3f)\n",
 		port.PreconFetches, port.IdleCycles, port.PreconStalls, port.Contention())
+
+	// Memory hierarchy: the same machine with a real shared L2 behind
+	// the L1s (finite MSHRs, fill bandwidth) instead of the paper's
+	// flat 10-cycle constant. Result.Memory breaks the level's traffic
+	// down by port — demand i-fetch, data, and the precon engine.
+	mcfg := cfg.WithModeledL2(mem.DefaultModeledL2())
+	res3, err := core.RunBenchmark(bench, mcfg, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res3.Memory
+	fmt.Println("\nsame machine with a modeled shared L2 (256KiB 8-way, 8 MSHRs):")
+	fmt.Printf("  IPC %.3f (flat-L2 machine: %.3f)\n", res3.IPC(), res2.IPC())
+	fmt.Printf("  L2: %d accesses, %d misses (rate %.3f), %d evictions\n",
+		m.Accesses, m.Misses, m.MissRate(), m.Evictions)
+	fmt.Printf("    i-fetch %6d accesses / %6d misses\n", m.IAccesses, m.IMisses)
+	fmt.Printf("    data    %6d accesses / %6d misses\n", m.DAccesses, m.DMisses)
+	fmt.Printf("    precon  %6d accesses / %6d misses (%.1f%% of L2 traffic)\n",
+		m.PreconAccesses, m.PreconMisses, m.PreconShare()*100)
+	fmt.Printf("  MSHR merges %d, MSHR-full stall cycles %d, fill-gap stall cycles %d\n",
+		m.MSHRMerges, m.MSHRStallCycles, m.FillStallCycles)
+	fmt.Printf("  engine fetches refused by MSHR back-pressure: %d\n", m.PreconDenied)
 }

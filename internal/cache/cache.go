@@ -51,6 +51,10 @@ type line struct {
 type Stats struct {
 	Accesses uint64
 	Misses   uint64
+	// Evictions counts fills that displaced a valid victim line —
+	// capacity/conflict pressure as opposed to cold misses. Hierarchy
+	// accounting (internal/mem) reads it to separate the two.
+	Evictions uint64
 }
 
 // MissRate returns misses/accesses, or 0 for an untouched cache.
@@ -67,6 +71,7 @@ type Cache struct {
 	sets      [][]line
 	setMask   uint32
 	lineShift uint
+	setShift  uint // log2(set count), cached for setAndTag
 	clock     uint64
 	stats     Stats
 }
@@ -87,6 +92,7 @@ func New(cfg Config) (*Cache, error) {
 		sets:      sets,
 		setMask:   uint32(numSets - 1),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setShift:  uint(bits.TrailingZeros(uint(numSets))),
 	}, nil
 }
 
@@ -109,7 +115,7 @@ func (c *Cache) LineAddr(addr uint32) uint32 {
 
 func (c *Cache) setAndTag(addr uint32) (uint32, uint32) {
 	la := addr >> c.lineShift
-	return la & c.setMask, la >> bits.TrailingZeros(uint(len(c.sets)))
+	return la & c.setMask, la >> c.setShift
 }
 
 // Access looks up addr, updating LRU state and statistics, and fills the
@@ -132,6 +138,9 @@ func (c *Cache) Access(addr uint32) bool {
 		}
 	}
 	c.stats.Misses++
+	if s[victim].valid {
+		c.stats.Evictions++
+	}
 	s[victim] = line{tag: tag, valid: true, lru: c.clock}
 	return false
 }

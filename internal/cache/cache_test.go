@@ -224,6 +224,90 @@ func TestQuickStatsConsistent(t *testing.T) {
 	}
 }
 
+func TestEvictions(t *testing.T) {
+	c := small(t) // 2-way set 0: 0x0000, 0x0100, 0x0200 conflict
+	c.Access(0x0000)
+	c.Access(0x0100)
+	if got := c.Stats().Evictions; got != 0 {
+		t.Errorf("cold fills counted as evictions: %d", got)
+	}
+	c.Access(0x0200) // displaces the LRU way (0x0000)
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+	c.Access(0x0200) // hit: no eviction
+	c.Access(0x0300) // displaces again
+	s := c.Stats()
+	if s.Evictions != 2 || s.Misses != 4 {
+		t.Errorf("stats = %+v, want 2 evictions / 4 misses", s)
+	}
+}
+
+func TestEvictionsSkipInvalidVictims(t *testing.T) {
+	c := small(t)
+	c.Access(0x0000)
+	c.Access(0x0100)
+	c.Invalidate(0x0000)
+	c.Access(0x0200) // fills the invalidated way: no valid victim
+	if got := c.Stats().Evictions; got != 0 {
+		t.Errorf("fill of invalidated way counted as eviction: %d", got)
+	}
+}
+
+func TestProbeAfterInvalidate(t *testing.T) {
+	c := small(t)
+	c.Access(0x0000)
+	c.Access(0x0100) // same set, other way
+	c.Invalidate(0x0000)
+	if c.Probe(0x0000) {
+		t.Error("invalidated line still probes resident")
+	}
+	if !c.Probe(0x0100) {
+		t.Error("Invalidate dropped the wrong way")
+	}
+	// Re-accessing the invalidated line must miss and refill.
+	if c.Access(0x0000) {
+		t.Error("access after invalidate hit")
+	}
+	if !c.Probe(0x0000) {
+		t.Error("refill after invalidate did not stick")
+	}
+}
+
+func TestLRUSurvivesResetStats(t *testing.T) {
+	c := small(t)
+	c.Access(0x0000)
+	c.Access(0x0100)
+	c.Access(0x0000) // 0x0100 becomes LRU
+	c.ResetStats()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("stats after ResetStats = %+v", s)
+	}
+	c.Access(0x0200) // must still evict 0x0100, not 0x0000
+	if !c.Probe(0x0000) {
+		t.Error("ResetStats disturbed LRU order: MRU line evicted")
+	}
+	if c.Probe(0x0100) {
+		t.Error("ResetStats disturbed LRU order: LRU line survived")
+	}
+	if s := c.Stats(); s.Accesses != 1 || s.Misses != 1 || s.Evictions != 1 {
+		t.Errorf("post-reset stats = %+v", s)
+	}
+}
+
+// BenchmarkCacheAccess is the setAndTag hot-path microbench: a mixed
+// hit/miss stream over a working set a little larger than the cache,
+// the access pattern of every simulated fetch. The set-index shift is
+// cached in the Cache (not recomputed per access); this benchmark is
+// the no-regression proof.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustNew(Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i*64) & 0x1FFFF) // 128 KiB working set: ~50% miss
+	}
+}
+
 func BenchmarkAccessHit(b *testing.B) {
 	c := MustNew(Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
 	c.Access(0x1000)

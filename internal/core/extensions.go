@@ -317,5 +317,13 @@ func extensionExperiments() []Experiment {
 				return FrontendStudyCtx(ctx, budget, benches)
 			},
 		},
+		{
+			ID:             "ext-memory",
+			Title:          "Extension: memory sensitivity — modeled shared L2, MSHRs, precon interference",
+			DefaultBenches: func() []string { return []string{"gcc"} },
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return MemoryStudyCtx(ctx, budget, benches)
+			},
+		},
 	}
 }

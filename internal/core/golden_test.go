@@ -24,6 +24,7 @@ var goldenBenches = map[string][]string{
 	"sensitivity":     {"li"},
 	"seeds":           {"li"},
 	"ext-frontend":    {"compress", "li"},
+	"ext-memory":      {"gcc"},
 }
 
 // TestGoldenTables pins the rendered ASCII tables of all nine

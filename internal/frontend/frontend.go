@@ -18,6 +18,7 @@ import (
 	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/isa"
+	"tracepre/internal/mem"
 	"tracepre/internal/precon"
 	"tracepre/internal/preproc"
 	"tracepre/internal/program"
@@ -68,7 +69,16 @@ type Config struct {
 	// Slow-path model parameters.
 	SlowFetchWidth    int
 	MispredictPenalty int
-	L2Lat             int
+	// L2Lat is the flat latency of the default fixed memory level; used
+	// only when Mem is nil.
+	L2Lat int
+
+	// Mem is the memory hierarchy behind the L1s (mem.Hierarchy), shared
+	// with the backend when the pipeline wires it. Demand i-fetch misses
+	// and the preconstruction engine's stolen fetches both route through
+	// its I-side. nil wires a private FixedLevel at L2Lat — the paper's
+	// perfect L2.
+	Mem *mem.Hierarchy
 
 	// Slow-path predictor sizes.
 	BimodalEntries int
@@ -184,6 +194,7 @@ type Frontend struct {
 	primary   PrimarySupplier
 
 	ic   *cache.Cache
+	mem  *mem.Hierarchy
 	port *SlowPathPort
 	bim  *bpred.Bimodal
 	ras  *bpred.RAS
@@ -209,6 +220,13 @@ func New(im *program.Image, cfg Config) (*Frontend, error) {
 		return nil, err
 	}
 	f.port = NewSlowPathPort(f.ic)
+	f.mem = cfg.Mem
+	if f.mem == nil {
+		if f.mem, err = mem.New(mem.Config{}, cfg.L2Lat); err != nil {
+			return nil, err
+		}
+	}
+	f.port.SetMem(f.mem)
 	if f.bim, err = bpred.NewBimodal(cfg.BimodalEntries); err != nil {
 		return nil, err
 	}
@@ -317,8 +335,11 @@ func (f *Frontend) addSupplier(s supplierSlot) {
 // engine of the demand fetch, probe the suppliers in order, and on a
 // full miss build the trace through the slow path and fill the primary
 // supplier. tr is borrowed from the caller's segmenter — the miss path
-// interns it before it escapes into a store.
-func (f *Frontend) Supply(tr *trace.Trace, dyns []emulator.Dyn) Supply {
+// interns it before it escapes into a store. now is the cycle the fetch
+// begins (the caller's fetch clock, taken before any redirect penalty —
+// an approximation the hierarchy tolerates, see mem.Level); the slow
+// path stamps its memory-level requests relative to it.
+func (f *Frontend) Supply(tr *trace.Trace, dyns []emulator.Dyn, now uint64) Supply {
 	id := tr.ID()
 	sup := Supply{Trace: tr, Demand: tr, ID: id, Supplier: -1}
 	sup.PredID, sup.PredOK = f.pred.Predict()
@@ -352,7 +373,7 @@ func (f *Frontend) Supply(tr *trace.Trace, dyns []emulator.Dyn) Supply {
 
 	// Full miss: the conventional fetch path builds the trace and the
 	// primary supplier retains it.
-	sup.FetchLat, sup.SlowBusy = f.slowPath(tr, dyns)
+	sup.FetchLat, sup.SlowBusy = f.slowPath(tr, dyns, now)
 	tr = f.store.Intern(tr)
 	if f.cfg.PreprocEnabled && tr.Opt == nil {
 		tr.Opt = preproc.Optimize(tr)
@@ -393,8 +414,12 @@ func (f *Frontend) ReplayWrongPath(predID, actual trace.ID) {
 // the slow path left the port idle, let it observe the retiring
 // dispatch stream, train the slow-path predictors from the resolved
 // stream, and train the next-trace predictor with the actual trace.
-func (f *Frontend) Retire(demand *trace.Trace, idle int64, dyns []emulator.Dyn) {
+// now is the cycle the idle interval starts (the previous trace's
+// retirement); the port clock walks forward from it as units are
+// granted, timestamping the engine's memory-level requests.
+func (f *Frontend) Retire(demand *trace.Trace, idle int64, dyns []emulator.Dyn, now uint64) {
 	if f.eng != nil {
+		f.port.SetClock(now)
 		if idle > 0 {
 			f.eng.Step(int(idle))
 		}
@@ -440,6 +465,9 @@ func (f *Frontend) StoreStats() trace.StoreStats { return f.store.Stats() }
 
 // TotalICMisses returns all i-cache misses, demand and engine-induced.
 func (f *Frontend) TotalICMisses() uint64 { return f.ic.Stats().Misses }
+
+// Mem returns the memory hierarchy behind the L1s (never nil after New).
+func (f *Frontend) Mem() *mem.Hierarchy { return f.mem }
 
 // AdaptiveStats returns the adaptive partition's feedback state; ok is
 // false for split designs.

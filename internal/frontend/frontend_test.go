@@ -34,7 +34,7 @@ func TestSupplyProbeOrderAndPromotion(t *testing.T) {
 	f := supplyRig(t)
 
 	tr, dyns := mkSeq(0x1000, 8)
-	sup := f.Supply(tr, dyns)
+	sup := f.Supply(tr, dyns, 0)
 	if sup.Hit || sup.Supplier != -1 {
 		t.Fatalf("cold supply hit=%v supplier=%d, want slow-path miss", sup.Hit, sup.Supplier)
 	}
@@ -43,7 +43,7 @@ func TestSupplyProbeOrderAndPromotion(t *testing.T) {
 	}
 
 	tr2, dyns2 := mkSeq(0x1000, 8)
-	sup = f.Supply(tr2, dyns2)
+	sup = f.Supply(tr2, dyns2, 0)
 	if !sup.Hit || sup.Supplier != 0 {
 		t.Fatalf("repeat supply hit=%v supplier=%d, want trace-cache hit", sup.Hit, sup.Supplier)
 	}
@@ -60,7 +60,7 @@ func TestSupplyProbeOrderAndPromotion(t *testing.T) {
 		t.Fatal("planted trace already in primary")
 	}
 
-	sup = f.Supply(planted, pdyns)
+	sup = f.Supply(planted, pdyns, 0)
 	if !sup.Hit || sup.Supplier != 1 {
 		t.Fatalf("buffer supply hit=%v supplier=%d, want buffer hit", sup.Hit, sup.Supplier)
 	}

@@ -20,7 +20,7 @@ func testPort(t *testing.T) *SlowPathPort {
 func TestPortDemandAlwaysWins(t *testing.T) {
 	p := testPort(t)
 	for i := 0; i < 100; i++ {
-		p.DemandAccess(uint32(i * 64)) // never a grant/deny return: always served
+		p.DemandAccess(uint32(i*64), 0) // never a grant/deny return: always served
 	}
 	if ps := p.Stats(); ps.DemandAccesses != 100 {
 		t.Errorf("DemandAccesses = %d, want 100", ps.DemandAccesses)
@@ -81,10 +81,10 @@ func TestPortSharedCacheVisibility(t *testing.T) {
 	p := testPort(t)
 	p.BeginUnit()
 	p.FetchLine(0) // engine warms line 0
-	if hit := p.DemandAccess(0); !hit {
+	if hit, _ := p.DemandAccess(0, 0); !hit {
 		t.Error("demand missed a line the engine fetched")
 	}
-	p.DemandAccess(128) // demand warms line 128
+	p.DemandAccess(128, 0) // demand warms line 128
 	p.BeginUnit()
 	if _, miss := p.FetchLine(128); miss {
 		t.Error("engine missed a line demand fetched")

@@ -8,12 +8,14 @@ import (
 
 // slowPath charges the conventional fetch path for building the trace:
 // line-granular i-cache accesses through the arbitrated port at
-// SlowFetchWidth instructions per cycle, L2 latency on misses, and
-// per-branch prediction penalties from the bimodal predictor, RAS and
-// indirect target buffer. It returns the total fetch latency and the
-// cycles the i-cache port was busy (the cycles the engine can never
-// steal).
-func (f *Frontend) slowPath(tr *trace.Trace, dyns []emulator.Dyn) (fetchLat, busy uint64) {
+// SlowFetchWidth instructions per cycle, the memory hierarchy's I-side
+// latency on misses, and per-branch prediction penalties from the
+// bimodal predictor, RAS and indirect target buffer. It returns the
+// total fetch latency and the cycles the i-cache port was busy (the
+// cycles the engine can never steal). now is the cycle the fetch
+// begins; each miss reaches the hierarchy at now plus the latency
+// accumulated so far.
+func (f *Frontend) slowPath(tr *trace.Trace, dyns []emulator.Dyn, now uint64) (fetchLat, busy uint64) {
 	f.stats.Slow.Builds++
 	f.stats.Slow.Instrs += uint64(tr.Len())
 	var lastLine uint32
@@ -25,9 +27,10 @@ func (f *Frontend) slowPath(tr *trace.Trace, dyns []emulator.Dyn) (fetchLat, bus
 		newGroup := false
 		if !haveLine || line != lastLine {
 			f.stats.Slow.ICAccesses++
-			if !f.port.DemandAccess(line) {
+			hit, missLat := f.port.DemandAccess(line, now+fetchLat)
+			if !hit {
 				f.stats.Slow.ICMisses++
-				fetchLat += uint64(f.cfg.L2Lat)
+				fetchLat += missLat
 				lineMissed = true
 			} else {
 				lineMissed = false

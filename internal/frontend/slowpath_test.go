@@ -68,7 +68,7 @@ func mkSeq(start uint32, n int) (*trace.Trace, []emulator.Dyn) {
 func TestSlowPathGroupAccounting(t *testing.T) {
 	f := slowRig(t, 64)
 	tr, dyns := mkSeq(0x1000, 16) // 0x1000..0x103c: one line
-	fetchLat, busy := f.slowPath(tr, dyns)
+	fetchLat, busy := f.slowPath(tr, dyns, 0)
 	if busy != 4 {
 		t.Errorf("busy = %d, want 4", busy)
 	}
@@ -100,9 +100,9 @@ func TestSlowPathGroupAccounting(t *testing.T) {
 func TestSlowPathWarmLine(t *testing.T) {
 	f := slowRig(t, 64)
 	tr, dyns := mkSeq(0x1000, 16)
-	f.slowPath(tr, dyns)
+	f.slowPath(tr, dyns, 0)
 	missBefore := f.stats.Slow.ICMisses
-	fetchLat, busy := f.slowPath(tr, dyns)
+	fetchLat, busy := f.slowPath(tr, dyns, 0)
 	if f.stats.Slow.ICMisses != missBefore {
 		t.Error("warm refetch missed")
 	}
@@ -120,7 +120,7 @@ func TestSlowPathLineCrossing(t *testing.T) {
 	f := slowRig(t, 64)
 	// Start 2 instructions before a line boundary: 0x1038..0x1077.
 	tr, dyns := mkSeq(0x1038, 8)
-	_, busy := f.slowPath(tr, dyns)
+	_, busy := f.slowPath(tr, dyns, 0)
 	if f.stats.Slow.ICAccesses != 2 {
 		t.Errorf("accesses = %d, want 2", f.stats.Slow.ICAccesses)
 	}
@@ -147,7 +147,7 @@ func TestSlowPathTakenBranchBreaksGroup(t *testing.T) {
 	in := isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 1}
 	add(0x1020, in, emulator.Dyn{PC: 0x1020, Inst: in, NextPC: 0x1024})
 	add(0x1024, in, emulator.Dyn{PC: 0x1024, Inst: in, NextPC: 0x1028})
-	_, busy := f.slowPath(tr, dyns)
+	_, busy := f.slowPath(tr, dyns, 0)
 	if f.stats.Slow.ICAccesses != 1 {
 		t.Errorf("accesses = %d, want 1 (same line)", f.stats.Slow.ICAccesses)
 	}
@@ -164,7 +164,7 @@ func TestSlowPathBranchPenalties(t *testing.T) {
 	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{br}}
 	dyns := []emulator.Dyn{{PC: 0x1000, Inst: br, Taken: false, NextPC: 0x1004}}
 	// Reset state is weakly taken; the not-taken outcome mispredicts.
-	fetchLat, busy := f.slowPath(tr, dyns)
+	fetchLat, busy := f.slowPath(tr, dyns, 0)
 	wantPenalty := uint64(f.cfg.MispredictPenalty)
 	if fetchLat < busy+wantPenalty {
 		t.Errorf("fetchLat %d missing mispredict penalty", fetchLat)
@@ -181,7 +181,7 @@ func TestSlowPathRASPenalty(t *testing.T) {
 	ret := isa.Inst{Op: isa.OpJr, Ra: isa.RegLink}
 	tr := &trace.Trace{PCs: []uint32{0x1000}, Insts: []isa.Inst{ret}, EndsInReturn: true}
 	dyns := []emulator.Dyn{{PC: 0x1000, Inst: ret, NextPC: 0x2004}}
-	f.slowPath(tr, dyns)
+	f.slowPath(tr, dyns, 0)
 	if f.stats.Slow.BranchMisp != 1 {
 		t.Fatalf("empty-RAS return not penalized: %d", f.stats.Slow.BranchMisp)
 	}
@@ -189,9 +189,9 @@ func TestSlowPathRASPenalty(t *testing.T) {
 	call := isa.Inst{Op: isa.OpJal, Target: 0x1000}
 	trCall := &trace.Trace{PCs: []uint32{0x2000}, Insts: []isa.Inst{call}}
 	dynsCall := []emulator.Dyn{{PC: 0x2000, Inst: call, NextPC: 0x1000}}
-	f.slowPath(trCall, dynsCall)
+	f.slowPath(trCall, dynsCall, 0)
 	before := f.stats.Slow.BranchMisp
-	f.slowPath(tr, dyns)
+	f.slowPath(tr, dyns, 0)
 	if f.stats.Slow.BranchMisp != before {
 		t.Errorf("matched return penalized")
 	}

@@ -89,6 +89,24 @@ var (
 	PortIdleCyclesPerKI = Metric{"port-idle-cycles/KI", func(r pipeline.Result) float64 {
 		return stats.PerKI(r.Frontend.Port.IdleCycles, r.Instructions)
 	}}
+	// L2MissRate is the memory level's miss rate: misses over the L1
+	// misses that reached it. Always 0 under the default FixedLevel,
+	// which models a perfect L2.
+	L2MissRate = Metric{"l2-miss-rate", func(r pipeline.Result) float64 {
+		return r.Memory.MissRate()
+	}}
+	// L2MSHRStallPerKI is cycles requests waited for a free miss-status
+	// register per 1000 committed instructions — the cost of finite miss
+	// tracking in the modeled L2.
+	L2MSHRStallPerKI = Metric{"l2-mshr-stall-cycles/KI", func(r pipeline.Result) float64 {
+		return stats.PerKI(r.Memory.MSHRStallCycles, r.Instructions)
+	}}
+	// PreconL2Share is the preconstruction engine's fraction of the
+	// memory level's accesses: how much shared-L2 traffic the "free"
+	// idle-cycle prefetching generates.
+	PreconL2Share = Metric{"precon-l2-share", func(r pipeline.Result) float64 {
+		return r.Memory.PreconShare()
+	}}
 )
 
 // SpeedupPct is the derived speedup-vs-baseline-cell metric: the

@@ -1,0 +1,308 @@
+package mem
+
+import (
+	"testing"
+
+	"tracepre/internal/cache"
+)
+
+// smallCfg is a 4-set, 2-way, 64B-line modeled L2 (512 bytes) with
+// distinguishable latencies: hits 10, misses +40, 2 MSHRs, fills 4
+// cycles apart.
+func smallCfg() Config {
+	return Config{
+		ModelL2: true,
+		L2:      cache.Config{SizeBytes: 512, LineBytes: 64, Assoc: 2},
+		HitLat:  10,
+		MissLat: 40,
+		MSHRs:   2,
+		FillGap: 4,
+	}
+}
+
+func TestFixedLevelFlatLatency(t *testing.T) {
+	l := NewFixed(10)
+	for now := uint64(0); now < 100; now += 37 {
+		if done := l.Lookup(IFetch, 0x1000, now); done != now+10 {
+			t.Errorf("Lookup(now=%d) = %d, want %d", now, done, now+10)
+		}
+	}
+	l.Lookup(Data, 0x2000, 5)
+	l.Lookup(Precon, 0x3000, 5)
+	s := l.Stats()
+	if s.Accesses != 5 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 5 accesses, 0 misses (perfect level)", s)
+	}
+	if s.IAccesses != 3 || s.DAccesses != 1 || s.PreconAccesses != 1 {
+		t.Errorf("per-port stats = %+v", s)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero (fixed) config invalid: %v", err)
+	}
+	bad := []Config{
+		{ModelL2: true}, // no geometry
+		func() Config { c := smallCfg(); c.HitLat = -1; return c }(),             // negative latency
+		func() Config { c := smallCfg(); c.MissLat = -1; return c }(),            // negative latency
+		func() Config { c := smallCfg(); c.MSHRs = 0; return c }(),               // no MSHRs
+		func() Config { c := smallCfg(); c.FillGap = -1; return c }(),            // negative gap
+		func() Config { c := smallCfg(); c.L2.LineBytes = 48; return c }(),       // bad geometry
+		func() Config { c := smallCfg(); c.L2.SizeBytes = 0; return c }(),        // bad geometry
+		func() Config { c := smallCfg(); c.L2 = cache.Config{}; return c }(),     // bad geometry
+		func() Config { c := smallCfg(); c.HitLat, c.MissLat = -2, 0; return c }( // both checks
+		),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, cfg)
+		}
+		if _, err := New(cfg, 10); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+	if _, err := NewModeledL2(Config{}); err == nil {
+		t.Error("NewModeledL2 accepted a fixed config")
+	}
+}
+
+func TestModeledL2HitAndMiss(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold miss: full latency.
+	if done := l2.Lookup(IFetch, 0x1000, 100); done != 100+10+40 {
+		t.Errorf("cold miss done = %d, want 150", done)
+	}
+	// Hit after the fill completed.
+	if done := l2.Lookup(IFetch, 0x1008, 200); done != 200+10 {
+		t.Errorf("hit done = %d, want 210", done)
+	}
+	s := l2.Stats()
+	if s.Accesses != 2 || s.Misses != 1 || s.IMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestModeledL2MSHRMerge(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := l2.Lookup(IFetch, 0x1000, 100) // miss, in flight until 150
+	// Same line, different port, while the fill is in flight: merges.
+	done2 := l2.Lookup(Precon, 0x1010, 120)
+	if done2 != done1 {
+		t.Errorf("merged access done = %d, want the outstanding fill %d", done2, done1)
+	}
+	s := l2.Stats()
+	if s.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", s.MSHRMerges)
+	}
+	if s.Misses != 1 {
+		t.Errorf("merge counted as a miss: %+v", s)
+	}
+}
+
+func TestModeledL2MSHRExhaustionStalls(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two misses fill both MSHRs (fills at 100 and 104 by the gap;
+	// ready 150 and 154).
+	l2.Lookup(Data, 0x1000, 100)
+	l2.Lookup(Data, 0x2000, 100)
+	if l2.CanAcceptMiss(100) {
+		t.Error("CanAcceptMiss with both MSHRs in flight")
+	}
+	// Third miss at 110 must wait for the earliest MSHR (ready 150),
+	// then fill: done = 150 + 10 + 40 = 200.
+	done := l2.Lookup(Data, 0x3000, 110)
+	if done != 200 {
+		t.Errorf("stalled miss done = %d, want 200", done)
+	}
+	s := l2.Stats()
+	if s.MSHRStallCycles != 40 {
+		t.Errorf("MSHRStallCycles = %d, want 40 (110 -> 150)", s.MSHRStallCycles)
+	}
+	if !l2.CanAcceptMiss(155) {
+		t.Error("CanAcceptMiss false after fills retired")
+	}
+}
+
+func TestModeledL2FillBandwidth(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back-to-back misses in the same cycle: the second fill waits out
+	// the 4-cycle gap.
+	d1 := l2.Lookup(IFetch, 0x1000, 100)
+	d2 := l2.Lookup(IFetch, 0x2000, 100)
+	if d1 != 150 {
+		t.Errorf("first miss done = %d, want 150", d1)
+	}
+	if d2 != 154 {
+		t.Errorf("second miss done = %d, want 154 (fill gap)", d2)
+	}
+	if s := l2.Stats(); s.FillStallCycles != 4 {
+		t.Errorf("FillStallCycles = %d, want 4", s.FillStallCycles)
+	}
+}
+
+func TestModeledL2Evictions(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three lines conflicting in set 0 of the 4-set, 2-way store.
+	now := uint64(0)
+	for _, a := range []uint32{0x0000, 0x0100, 0x0200} {
+		l2.Lookup(Data, a, now)
+		now += 1000 // let fills retire between misses
+	}
+	if s := l2.Stats(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestModeledL2NonMonotonicNow(t *testing.T) {
+	// The three consumers run on loosely coupled clocks: a lookup may
+	// arrive with a smaller now than its predecessor. Absolute
+	// ready-cycle state must keep results sane (done >= now).
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Lookup(Data, 0x1000, 1000)
+	if done := l2.Lookup(IFetch, 0x2000, 50); done < 50 {
+		t.Errorf("done %d before now 50", done)
+	}
+	if done := l2.Lookup(IFetch, 0x2020, 60); done < 60 {
+		t.Errorf("hit done %d before now 60", done)
+	}
+}
+
+func TestHierarchyFixedWiring(t *testing.T) {
+	h, err := New(Config{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Modeled() {
+		t.Error("zero config wired the modeled level")
+	}
+	if got := h.Latency(Data, 0x1000, 77); got != 10 {
+		t.Errorf("fixed Latency = %d, want 10", got)
+	}
+	if !h.AdmitPrecon(0) {
+		t.Error("fixed level refused a precon miss")
+	}
+	if s := h.Stats(); s.Accesses != 1 || s.PreconDenied != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if _, ok := h.Level().(*FixedLevel); !ok {
+		t.Errorf("Level() = %T, want *FixedLevel", h.Level())
+	}
+}
+
+func TestHierarchyModeledWiring(t *testing.T) {
+	h, err := New(smallCfg(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Modeled() {
+		t.Error("modeled config wired the fixed level")
+	}
+	// Exhaust the MSHRs, then a precon miss must be refused and counted.
+	h.Lookup(Data, 0x1000, 100)
+	h.Lookup(Data, 0x2000, 100)
+	if h.AdmitPrecon(100) {
+		t.Error("AdmitPrecon with all MSHRs busy")
+	}
+	if s := h.Stats(); s.PreconDenied != 1 {
+		t.Errorf("PreconDenied = %d, want 1", s.PreconDenied)
+	}
+	if h.AdmitPrecon(1000) != true {
+		t.Error("AdmitPrecon false after fills retired")
+	}
+	if _, ok := h.Level().(*ModeledL2); !ok {
+		t.Errorf("Level() = %T, want *ModeledL2", h.Level())
+	}
+}
+
+// TestLevelContract runs both implementations through the interface:
+// done never precedes now, and stats ledgers stay internally consistent
+// (per-port counts sum to totals).
+func TestLevelContract(t *testing.T) {
+	l2, err := NewModeledL2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []Level{NewFixed(10), l2} {
+		var now uint64
+		for i := 0; i < 300; i++ {
+			p := Port(i % 3)
+			addr := uint32((i * 2654435761) & 0xFFFF)
+			done := lvl.Lookup(p, addr, now)
+			if done < now {
+				t.Fatalf("%T: done %d < now %d", lvl, done, now)
+			}
+			now += uint64(i % 7)
+		}
+		s := lvl.Stats()
+		if s.IAccesses+s.DAccesses+s.PreconAccesses != s.Accesses {
+			t.Errorf("%T: port accesses do not sum: %+v", lvl, s)
+		}
+		if s.IMisses+s.DMisses+s.PreconMisses != s.Misses {
+			t.Errorf("%T: port misses do not sum: %+v", lvl, s)
+		}
+		if s.Misses > s.Accesses {
+			t.Errorf("%T: misses exceed accesses: %+v", lvl, s)
+		}
+	}
+}
+
+func TestLevelStatsRates(t *testing.T) {
+	var s LevelStats
+	if s.MissRate() != 0 || s.PreconShare() != 0 {
+		t.Error("zero stats rates nonzero")
+	}
+	s = LevelStats{Accesses: 8, Misses: 2, PreconAccesses: 4}
+	if s.MissRate() != 0.25 {
+		t.Errorf("MissRate = %f", s.MissRate())
+	}
+	if s.PreconShare() != 0.5 {
+		t.Errorf("PreconShare = %f", s.PreconShare())
+	}
+}
+
+// BenchmarkFixedLookup pins the default wiring's hot-path cost: the
+// FixedLevel lookup the backend and slow path pay per L1 miss.
+func BenchmarkFixedLookup(b *testing.B) {
+	h, err := New(Config{}, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Lookup(Data, uint32(i), uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkModeledLookup(b *testing.B) {
+	h, err := New(DefaultModeledL2(), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Lookup(Data, uint32(i*64)&0xFFFFF, uint64(i))
+	}
+	_ = sink
+}

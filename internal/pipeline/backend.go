@@ -4,6 +4,7 @@ import (
 	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/isa"
+	"tracepre/internal/mem"
 	"tracepre/internal/preproc"
 	"tracepre/internal/trace"
 )
@@ -25,6 +26,7 @@ import (
 type backend struct {
 	cfg    BackendConfig
 	dcache *cache.Cache
+	mem    *mem.Hierarchy // D-side of the shared level behind the L1s
 
 	regReady [isa.NumRegs]regStamp
 	peFree   []uint64
@@ -114,13 +116,21 @@ type regStamp struct {
 	pe    int
 }
 
-func newBackend(cfg BackendConfig, dc *cache.Cache) *backend {
-	return &backend{cfg: cfg, dcache: dc, peFree: make([]uint64, cfg.NumPEs)}
+// newBackend wires the execution engine to its data cache and the
+// shared memory level behind it. A nil hierarchy (standalone backends
+// in unit tests) gets a private FixedLevel at cfg.L2Lat — the same
+// flat-latency pricing as before the hierarchy existed.
+func newBackend(cfg BackendConfig, dc *cache.Cache, h *mem.Hierarchy) *backend {
+	if h == nil {
+		h, _ = mem.New(mem.Config{}, cfg.L2Lat)
+	}
+	return &backend{cfg: cfg, dcache: dc, mem: h, peFree: make([]uint64, cfg.NumPEs)}
 }
 
-// latency returns the execution latency of an instruction; loads consult
-// the data cache.
-func (b *backend) latency(in isa.Inst, d emulator.Dyn) uint64 {
+// latency returns the execution latency of an instruction issued at
+// cycle now; loads consult the data cache and, on a miss, ask the
+// hierarchy's D-side when the line is back.
+func (b *backend) latency(in isa.Inst, d emulator.Dyn, now uint64) uint64 {
 	switch in.Op {
 	case isa.OpMul:
 		return uint64(b.cfg.MulLat)
@@ -131,14 +141,17 @@ func (b *backend) latency(in isa.Inst, d emulator.Dyn) uint64 {
 		lat := uint64(b.cfg.LoadLat)
 		if !b.dcache.Access(d.MemAddr) {
 			b.dcacheMisses++
-			lat += uint64(b.cfg.L2Lat)
+			lat += b.mem.Latency(mem.Data, d.MemAddr, now)
 		}
 		return lat
 	case isa.OpStore:
 		// Stores retire through the memory system without stalling
-		// dependents; access the cache for state/statistics.
+		// dependents; access the cache for state/statistics. A store
+		// miss still fills through the shared level (occupying an MSHR
+		// when one is modeled) without adding to the store's latency.
 		if !b.dcache.Access(d.MemAddr) {
 			b.dcacheMisses++
+			b.mem.Lookup(mem.Data, d.MemAddr, now)
 		}
 		return 1
 	default:
@@ -322,13 +335,13 @@ func (b *backend) dispatch(tr *trace.Trace, dyns []emulator.Dyn, ready uint64, p
 				}
 				issued[idx] = true
 				issuedAt[idx] = c
-				doneOf[idx] = c + b.latency(tr.Insts[idx], dyns[idx])
+				doneOf[idx] = c + b.latency(tr.Insts[idx], dyns[idx], c)
 				remaining--
 				slots--
 				if f := fusedOf[idx]; f >= 0 && !issued[f] {
 					issued[f] = true
 					issuedAt[f] = c
-					doneOf[f] = c + b.latency(tr.Insts[f], dyns[f])
+					doneOf[f] = c + b.latency(tr.Insts[f], dyns[f], c)
 					remaining--
 				}
 			}

@@ -58,7 +58,7 @@ func TestQuickBackendInvariants(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
 		cfg := DefaultBackendConfig()
-		be := newBackend(cfg, dc)
+		be := newBackend(cfg, dc, nil)
 		var prevRetire uint64
 		clock := uint64(10)
 		for k := 0; k < 40; k++ {
@@ -122,7 +122,7 @@ func TestPreprocessedFasterInAggregate(t *testing.T) {
 					dc.Access(d.MemAddr)
 				}
 			}
-			be := newBackend(DefaultBackendConfig(), dc)
+			be := newBackend(DefaultBackendConfig(), dc, nil)
 			cp := *tr
 			if pre {
 				cp.Opt = preproc.Optimize(tr)

@@ -12,7 +12,7 @@ import (
 
 func testBackend() *backend {
 	dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
-	return newBackend(DefaultBackendConfig(), dc)
+	return newBackend(DefaultBackendConfig(), dc, nil)
 }
 
 // mkTrace builds a trace and matching dyn records at sequential PCs.
@@ -92,7 +92,7 @@ func TestBackendSamePENoTransfer(t *testing.T) {
 	cfg := DefaultBackendConfig()
 	cfg.NumPEs = 1
 	dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
-	be := newBackend(cfg, dc)
+	be := newBackend(cfg, dc, nil)
 	t1, d1 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 1, Ra: 0, Imm: 5})
 	be.dispatch(t1, d1, 100, false)
 	t2, d2 := mkTrace(isa.Inst{Op: isa.OpAddI, Rd: 2, Ra: 1, Imm: 1})
@@ -152,7 +152,7 @@ func TestBackendLookaheadLimits(t *testing.T) {
 		cfg := DefaultBackendConfig()
 		cfg.Lookahead = lookahead
 		dc := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4})
-		be := newBackend(cfg, dc)
+		be := newBackend(cfg, dc, nil)
 		// Producer trace on PE0 making r1 available late.
 		prod, dProd := mkTrace(
 			isa.Inst{Op: isa.OpDiv, Rd: 1, Ra: 2, Rb: 3},

@@ -14,6 +14,7 @@ import (
 
 	"tracepre/internal/cache"
 	"tracepre/internal/frontend"
+	"tracepre/internal/mem"
 	"tracepre/internal/precon"
 	"tracepre/internal/tpred"
 	"tracepre/internal/trace"
@@ -74,6 +75,14 @@ type Config struct {
 
 	ICache cache.Config
 	DCache cache.Config
+
+	// Mem selects the memory level behind the L1s, shared by demand
+	// i-fetch, the backend's loads/stores, and the preconstruction
+	// engine's stolen fetches. The zero value wires a FixedLevel at
+	// Backend.L2Lat — the paper's perfect L2, byte-identical to the
+	// pre-hierarchy model; set Mem.ModelL2 for a real shared L2 with
+	// finite MSHRs and fill bandwidth (mem.DefaultModeledL2).
+	Mem mem.Config
 
 	SlowFetchWidth    int // instructions per cycle from the i-cache (4)
 	MispredictPenalty int // frontend redirect penalty, cycles
@@ -160,10 +169,20 @@ func (c Config) WithTraceCache(entries int) Config {
 // PreconEnabled reports whether preconstruction is configured.
 func (c Config) PreconEnabled() bool { return c.Buffers.Entries > 0 }
 
+// WithModeledL2 returns the configuration with the given modeled memory
+// level behind the L1s.
+func (c Config) WithModeledL2(mc mem.Config) Config {
+	c.Mem = mc
+	return c
+}
+
 // frontendConfig slices the fetch-side configuration out for the
 // frontend composition root (trace selection rules are merged into the
 // precon config, and the backend's L2 latency prices slow-path i-cache
-// misses, as before the decomposition).
+// misses, as before the decomposition). The shared memory hierarchy is
+// not part of the slice: Simulator.New builds it once and binds it into
+// the returned Config's Mem field, so I-side and D-side misses meet in
+// one level.
 func (c Config) frontendConfig() frontend.Config {
 	pcfg := c.Precon
 	pcfg.Select = c.Select
@@ -214,6 +233,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.ICache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
 		return err
 	}
 	if c.FullTiming {

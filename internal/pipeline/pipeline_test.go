@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tracepre/internal/isa"
+	"tracepre/internal/mem"
 	"tracepre/internal/program"
 	"tracepre/internal/tracecache"
 )
@@ -53,6 +54,22 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Backend.Lookahead = 0 },
 		func(c *Config) { c.FullTiming = true; c.DCache.SizeBytes = 0 },
 		func(c *Config) { c.Buffers.Entries = 64; c.Precon.StackDepth = 0 },
+		// Adaptive partition: requires precon; the unified store must
+		// itself be a valid trace-cache geometry.
+		func(c *Config) { c.AdaptivePartition = true; c.Buffers.Entries = 0 },
+		func(c *Config) { c.AdaptivePartition = true; c.TraceCache.Assoc = 0 },
+		// Backend latency error paths.
+		func(c *Config) { c.Backend.IssuePerPE = 0 },
+		func(c *Config) { c.Backend.XferLat = -1 },
+		func(c *Config) { c.Backend.LoadLat = 0 },
+		func(c *Config) { c.Backend.MulLat = 0 },
+		func(c *Config) { c.Backend.DivLat = 0 },
+		func(c *Config) { c.Backend.L2Lat = -1 },
+		// Memory-hierarchy config error paths (mem.Config.Validate).
+		func(c *Config) { c.Mem.ModelL2 = true },
+		func(c *Config) { c.Mem = mem.DefaultModeledL2(); c.Mem.MSHRs = 0 },
+		func(c *Config) { c.Mem = mem.DefaultModeledL2(); c.Mem.HitLat = -1 },
+		func(c *Config) { c.Mem = mem.DefaultModeledL2(); c.Mem.L2.LineBytes = 48 },
 	}
 	im := loopImage(t, 5)
 	for i, m := range mutate {

@@ -9,6 +9,7 @@ import (
 	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/frontend"
+	"tracepre/internal/mem"
 	"tracepre/internal/precon"
 	"tracepre/internal/program"
 	"tracepre/internal/tpred"
@@ -58,6 +59,12 @@ type Result struct {
 	// per-supplier probe/hit/fill counts, slow-path work, and the
 	// demand/engine sharing of the i-cache port (frontend.Stats).
 	Frontend frontend.Stats
+
+	// Memory reports the level behind the L1s: per-port (I-side, D-side,
+	// precon) access and miss counts, MSHR merges and stalls, fill-
+	// bandwidth stalls, and the engine fetches the hierarchy refused.
+	// With the default FixedLevel wiring only the access counters move.
+	Memory mem.LevelStats
 
 	// Intern reports trace-store activity: intern hit rate, live and
 	// limbo residency, slab footprint (see trace.StoreStats).
@@ -133,9 +140,10 @@ type Simulator struct {
 	cfg Config
 	im  *program.Image
 
-	fe *frontend.Frontend
-	dc *cache.Cache
-	be *backend
+	fe  *frontend.Frontend
+	dc  *cache.Cache
+	be  *backend
+	mem *mem.Hierarchy // shared by I-side, D-side, and precon fetches
 
 	res Result
 	ran bool // Run/RunSource consumed this simulator
@@ -192,7 +200,14 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, im: im}
-	fe, err := frontend.New(im, cfg.frontendConfig())
+	h, err := mem.New(cfg.Mem, cfg.Backend.L2Lat)
+	if err != nil {
+		return nil, err
+	}
+	s.mem = h
+	fcfg := cfg.frontendConfig()
+	fcfg.Mem = h
+	fe, err := frontend.New(im, fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +216,7 @@ func New(im *program.Image, cfg Config) (*Simulator, error) {
 		if s.dc, err = cache.New(cfg.DCache); err != nil {
 			return nil, err
 		}
-		s.be = newBackend(cfg.Backend, s.dc)
+		s.be = newBackend(cfg.Backend, s.dc, h)
 	}
 	return s, nil
 }
@@ -221,6 +236,9 @@ func (s *Simulator) Frontend() *frontend.Frontend { return s.fe }
 // PreconEngine exposes the preconstruction engine (nil when disabled)
 // for diagnostics and the anatomy example.
 func (s *Simulator) PreconEngine() *precon.Engine { return s.fe.Engine() }
+
+// Mem exposes the memory hierarchy behind the L1s.
+func (s *Simulator) Mem() *mem.Hierarchy { return s.mem }
 
 // Run executes up to budget committed instructions on a live emulator
 // and returns the measurements. Run may be called once per Simulator; a
@@ -331,6 +349,7 @@ func (s *Simulator) finalize() {
 		s.res.AdaptiveAdjusts = adjusts
 	}
 	s.res.Intern = s.fe.StoreStats()
+	s.res.Memory = s.mem.Stats()
 }
 
 // ReleaseStorage drains every trace supplier, returning interned
@@ -357,7 +376,7 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 		s.window.Instructions += uint64(n)
 	}
 
-	sup := s.fe.Supply(tr, dyns)
+	sup := s.fe.Supply(tr, dyns, s.fetchFree)
 	if sup.Hit {
 		if sup.Supplier > 0 {
 			s.window.PreconSupplied++
@@ -408,8 +427,10 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 
 	// Grant the engine the cycles the slow path left the port idle,
 	// let it observe the dispatch stream, and train the predictors.
+	// The idle interval starts at the previous retirement, so that is
+	// where the port clock walks from.
 	idle := int64(retire-prevRetire) - int64(sup.SlowBusy)
-	s.fe.Retire(sup.Demand, idle, dyns)
+	s.fe.Retire(sup.Demand, idle, dyns, prevRetire)
 
 	if s.cfg.WindowInstrs > 0 && s.window.Instructions >= s.cfg.WindowInstrs {
 		s.res.Windows = append(s.res.Windows, s.window)

@@ -1,6 +1,9 @@
 package precon
 
-import "tracepre/internal/cache"
+import (
+	"tracepre/internal/cache"
+	"tracepre/internal/mem"
+)
 
 // PortStats counts both sides of the slow-path port: demand fetch (the
 // conventional path building a missed trace) and the preconstruction
@@ -15,6 +18,11 @@ type PortStats struct {
 	PreconFetches uint64 // engine line fetches the port granted
 	PreconMisses  uint64 // granted fetches that missed the i-cache
 	PreconStalls  uint64 // engine fetch requests denied (budget spent)
+	// PreconMemDenied counts engine fetches refused by the memory
+	// hierarchy's back-pressure (a would-be L1 miss with no free MSHR
+	// downstream) rather than by port arbitration. Denial does not
+	// consume the unit's fetch budget. Always zero with the fixed level.
+	PreconMemDenied uint64
 }
 
 // Contention returns the fraction of engine fetch requests the port
@@ -44,6 +52,8 @@ func (s PortStats) Contention() float64 {
 // type with the demand side simply unexercised.
 type SlowPathPort struct {
 	ic     *cache.Cache
+	mem    *mem.Hierarchy // level behind the L1; nil for standalone engines
+	now    uint64         // port clock, advanced by SetClock/BeginUnit
 	budget int
 	stats  PortStats
 }
@@ -52,6 +62,28 @@ type SlowPathPort struct {
 func NewSlowPathPort(ic *cache.Cache) *SlowPathPort {
 	return &SlowPathPort{ic: ic}
 }
+
+// SetMem binds the memory hierarchy behind the instruction cache. Both
+// sides of the port route their L1 misses through it: demand misses
+// price their fetch there (DemandAccess), and engine misses fill through
+// it — subject to its admission back-pressure (FetchLine). A nil
+// hierarchy (standalone engines, tests) leaves misses unpriced, the
+// pre-hierarchy behavior.
+func (p *SlowPathPort) SetMem(h *mem.Hierarchy) { p.mem = h }
+
+// Mem returns the bound hierarchy (nil when standalone).
+func (p *SlowPathPort) Mem() *mem.Hierarchy { return p.mem }
+
+// SetClock positions the port clock: the cycle at which subsequently
+// granted engine fetches are deemed to reach the hierarchy. The caller
+// sets it to the start of the idle interval it is about to grant;
+// BeginUnit then advances it one cycle per granted unit. The engine and
+// demand clocks are loosely coupled, which the hierarchy tolerates (see
+// mem.Level).
+func (p *SlowPathPort) SetClock(now uint64) { p.now = now }
+
+// Now returns the port clock.
+func (p *SlowPathPort) Now() uint64 { return p.now }
 
 // ICache exposes the instruction cache behind the port (total-miss
 // accounting, line geometry).
@@ -62,17 +94,23 @@ func (p *SlowPathPort) ICache() *cache.Cache { return p.ic }
 // zero, and for line-address arithmetic).
 func (p *SlowPathPort) LineBytes() int { return p.ic.Config().LineBytes }
 
-// DemandAccess performs a demand-fetch line access. Demand wins
-// arbitration unconditionally: the access is never denied and consumes
-// none of the engine's idle-cycle budget. It reports whether the line
-// hit the i-cache.
-func (p *SlowPathPort) DemandAccess(line uint32) bool {
+// DemandAccess performs a demand-fetch line access at cycle now. Demand
+// wins arbitration unconditionally: the access is never denied, consumes
+// none of the engine's idle-cycle budget, and is never refused by the
+// hierarchy's back-pressure (demand misses must be tracked; only engine
+// prefetches are deniable). It reports whether the line hit the i-cache
+// and, on a miss, the cycles until the backing level returns the line
+// (0 when no hierarchy is bound).
+func (p *SlowPathPort) DemandAccess(line uint32, now uint64) (hit bool, missLat uint64) {
 	p.stats.DemandAccesses++
-	hit := p.ic.Access(line)
-	if !hit {
-		p.stats.DemandMisses++
+	if p.ic.Access(line) {
+		return true, 0
 	}
-	return hit
+	p.stats.DemandMisses++
+	if p.mem != nil {
+		missLat = p.mem.Latency(mem.IFetch, line, now)
+	}
+	return false, missLat
 }
 
 // ChargeDemand records cycles the demand path held the port busy. Busy
@@ -82,19 +120,33 @@ func (p *SlowPathPort) ChargeDemand(busy uint64) {
 }
 
 // BeginUnit opens one granted idle cycle: the engine may fetch at most
-// one line before the next BeginUnit.
+// one line before the next BeginUnit. The port clock advances with the
+// grant, so consecutive engine fetches reach the hierarchy on
+// consecutive cycles of the idle interval.
 func (p *SlowPathPort) BeginUnit() {
 	p.budget = 1
 	p.stats.IdleCycles++
+	p.now++
 }
 
 // FetchLine requests one budgeted engine line fetch. A request past the
 // unit's budget is denied (granted=false; the constructor stalls and
-// retries next unit) and counted as contention; miss reports whether a
-// granted access missed the i-cache.
+// retries next unit) and counted as contention. A fetch that would miss
+// the L1 additionally needs the hierarchy's admission (a free MSHR for
+// the engine-side miss); refusal there also returns granted=false but
+// keeps the unit's budget — back-pressure, not port contention. miss
+// reports whether a granted access missed the i-cache; a granted miss
+// fills through the hierarchy's precon side, so engine-induced L2
+// pollution and MSHR occupancy are measured where they happen.
 func (p *SlowPathPort) FetchLine(line uint32) (granted, miss bool) {
 	if p.budget <= 0 {
 		p.stats.PreconStalls++
+		return false, false
+	}
+	// Probe, not Access: admission must be checked before the L1 fills
+	// the line, or a denied fetch would spuriously hit on retry.
+	if p.mem != nil && !p.ic.Probe(line) && !p.mem.AdmitPrecon(p.now) {
+		p.stats.PreconMemDenied++
 		return false, false
 	}
 	p.budget--
@@ -102,6 +154,9 @@ func (p *SlowPathPort) FetchLine(line uint32) (granted, miss bool) {
 	miss = !p.ic.Access(line)
 	if miss {
 		p.stats.PreconMisses++
+		if p.mem != nil {
+			p.mem.Lookup(mem.Precon, line, p.now)
+		}
 	}
 	return true, miss
 }
