@@ -46,16 +46,23 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One iteration of the hot-path microbenchmarks: not a measurement, a
-# CI canary that the benchmarks build and run (see BENCH_precon.json
-# and BENCH_interning.json for how to take real numbers). The trace
-# store's steady-state allocation contract runs here too: the test
-# fails if an intern/release round allocates at all.
+# CI canary that the benchmarks build and run (see BENCH_precon.json,
+# BENCH_interning.json and BENCH_broadcast.json for how to take real
+# numbers). The steady-state allocation contracts run here too — the
+# trace store's intern/release round, the chunked replay loop, and the
+# chunk-buffer pool — plus the broadcast sweep's correctness gates:
+# decode-once counting, full-Result equivalence against per-cell
+# replay, and stream-cache accounting untouched by decoded chunks.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Observe|RegionChurn|U32Set|LineSet|AddrIndex' \
 		-benchtime 1x -benchmem ./internal/precon/
 	$(GO) test -run '^$$' -bench 'InternHit|InternChurn|Clone' \
 		-benchtime 1x -benchmem ./internal/trace/
+	$(GO) test -run '^$$' -bench 'Figure5Broadcast' -benchtime 1x -benchmem .
 	$(GO) test -run TestInternSteadyStateAllocs -count 1 ./internal/trace/
+	$(GO) test -run 'TestChunkLoopSteadyStateAllocs' -count 1 ./internal/pipeline/
+	$(GO) test -run 'TestChunkBufPoolSteadyState' -count 1 ./internal/emulator/
+	$(GO) test -run 'TestBroadcast' -count 1 ./internal/harness/
 
 # Regenerate every paper table/figure plus the extension studies at the
 # full default budget (writes to stdout; takes a few minutes).

@@ -5,6 +5,7 @@
 package tracepre
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"tracepre/internal/core"
 	"tracepre/internal/emulator"
+	"tracepre/internal/harness"
 )
 
 // benchBudget keeps testing.B iterations affordable while still
@@ -353,6 +355,56 @@ func BenchmarkFigure5Precon(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkFigure5Broadcast is the Figure 5 PB>0 multi-cell sweep —
+// the same 18 cells as BenchmarkFigure5Precon — dispatched through the
+// harness's group scheduler with decode-once broadcast replay on versus
+// off. Per benchmark all 9 PB>0 points share one recorded stream, so
+// broadcast mode decodes gcc and go once each and steps the 9 member
+// simulators in lockstep over every chunk; per-cell mode re-decodes the
+// stream for every cell. Warm stream cache, so recording is never
+// measured (BENCH_broadcast.json records the interleaved ABBA ratio).
+func BenchmarkFigure5Broadcast(b *testing.B) {
+	benches := []string{"gcc", "go"}
+	var pts []harness.ConfigPoint
+	for _, pb := range core.Figure5PBSizes {
+		if pb == 0 {
+			continue
+		}
+		for _, tc := range core.Figure5TCSizes {
+			if pb >= 256 && tc >= 1024 {
+				continue
+			}
+			pts = append(pts, harness.ConfigPoint{
+				Name: fmt.Sprintf("tc%d/pb%d", tc, pb),
+				Cfg:  core.PreconConfig(tc, pb),
+			})
+		}
+	}
+	m := harness.Matrix{Name: "fig5-pb", Benches: benches, Budget: benchBudget, Points: pts}
+	ctx := context.Background()
+	// Warm the stream cache once so neither mode measures recording.
+	if _, err := harness.Run(ctx, m); err != nil {
+		b.Fatal(err)
+	}
+	instrs := int64(len(benches)) * int64(len(pts)) * int64(benchBudget)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"broadcast", true}, {"percell", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			was := core.SetBroadcast(mode.on)
+			defer core.SetBroadcast(was)
+			b.SetBytes(instrs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Run(ctx, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "report sweep progress (done/total, elapsed, ETA) on stderr")
 		jobs       = flag.Int("j", 0, "max concurrent sweep cells (0: one per CPU)")
 		replay     = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
+		broadcast  = flag.Bool("broadcast", true, "decode each recorded stream once per sweep group and step the group's cells in lockstep (-broadcast=false replays per cell)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -72,6 +73,7 @@ func main() {
 	}
 
 	core.SetReplay(*replay)
+	core.SetBroadcast(*broadcast)
 
 	var benches []string
 	if *bench != "" {

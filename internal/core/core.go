@@ -104,6 +104,15 @@ func SetReplay(on bool) bool { return harness.SetReplay(on) }
 // ReplayOn reports whether replay-based execution is enabled.
 func ReplayOn() bool { return harness.ReplayOn() }
 
+// SetBroadcast switches decode-once broadcast replay on or off (cmd
+// flags plumb -broadcast here): when on, sweep cells sharing a recorded
+// stream are driven in lockstep from a single decode pass. It returns
+// the previous setting.
+func SetBroadcast(on bool) bool { return harness.SetBroadcast(on) }
+
+// BroadcastOn reports whether broadcast replay is enabled.
+func BroadcastOn() bool { return harness.BroadcastOn() }
+
 // SetStreamCacheCap bounds the memory (in encoded bytes) the shared
 // stream cache may hold; least-recently-used streams are evicted.
 func SetStreamCacheCap(bytes int64) { harness.SetStreamCacheCap(bytes) }

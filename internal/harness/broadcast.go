@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync/atomic"
+
+	"tracepre/internal/pipeline"
+	"tracepre/internal/trace"
+)
+
+// broadcastEnabled gates decode-once broadcast replay. When on (the
+// default) and replay is enabled, Run groups the matrix cells that
+// share a recorded stream — same (bench, seed, budget) key — and
+// drives each group through one decode pass, stepping every member
+// simulator in lockstep over each decoded chunk. When off, every cell
+// decodes its own replay, the pre-broadcast behaviour. Both paths
+// produce bit-identical Results (asserted by TestBroadcastEquivalence).
+var broadcastEnabled atomic.Bool
+
+func init() { broadcastEnabled.Store(true) }
+
+// SetBroadcast switches decode-once broadcast replay on or off (cmd
+// flags plumb -broadcast here). It returns the previous setting.
+func SetBroadcast(on bool) bool { return broadcastEnabled.Swap(on) }
+
+// BroadcastOn reports whether broadcast replay is enabled.
+func BroadcastOn() bool { return broadcastEnabled.Load() }
+
+// decodePasses counts full decode passes over recorded streams: one
+// per replayed cell on the per-cell path, one per group on the
+// broadcast path. The decode-once contract — a broadcast group of N
+// cells performs exactly 1 pass, not N — is asserted against this
+// counter by TestBroadcastDecodesOnce.
+var decodePasses atomic.Uint64
+
+// DecodePasses reports how many stream decode passes have run
+// process-wide.
+func DecodePasses() uint64 { return decodePasses.Load() }
+
+// ResetDecodePasses zeroes the decode-pass counter (tests).
+func ResetDecodePasses() { decodePasses.Store(0) }
+
+// runCell executes one sweep cell on the per-cell path (unique stream,
+// or broadcast/replay disabled), labelled for CPU profiles so
+// -cpuprofile output from cmd/tablegen attributes time per cell.
+func runCell(ctx context.Context, m Matrix, c *Cell) error {
+	im, err := ImageSeed(c.Bench, c.Seed)
+	if err != nil {
+		return fmt.Errorf("harness: %s: %s: %w", m.Name, c.Bench, err)
+	}
+	var res pipeline.Result
+	pprof.Do(ctx, pprof.Labels("bench", c.Bench, "point", c.Point.Name), func(context.Context) {
+		res, err = runKeyed(im, streamKey{name: c.Bench, seed: c.Seed, budget: m.Budget}, c.Point.Cfg, m.Budget)
+	})
+	if err != nil {
+		return fmt.Errorf("harness: %s: %s/%s: %w", m.Name, c.Bench, c.Point.Name, err)
+	}
+	c.Result = res
+	return nil
+}
+
+// broadcastRun executes one group of cells that share a recorded
+// stream: the stream is decoded into chunks exactly once and every
+// member simulator steps over each chunk in lockstep, so the chunk is
+// still cache-hot when the last member drains it. When all members
+// share one SelectConfig (the common sweep shape: points differ only in
+// storage sizes), trace selection is also performed once per group and
+// members consume pre-segmented traces (RunTrace); otherwise each
+// member segments the shared chunks itself (RunChunk).
+func broadcastRun(ctx context.Context, m Matrix, cells []*Cell) error {
+	bench, seed := cells[0].Bench, cells[0].Seed
+	wrap := func(c *Cell, err error) error {
+		return fmt.Errorf("harness: %s: %s/%s: %w", m.Name, bench, c.Point.Name, err)
+	}
+	im, err := ImageSeed(bench, seed)
+	if err != nil {
+		return fmt.Errorf("harness: %s: %s: %w", m.Name, bench, err)
+	}
+	st, err := streams.get(streamKey{name: bench, seed: seed, budget: m.Budget}, im)
+	if err != nil {
+		return fmt.Errorf("harness: %s: %s: %w", m.Name, bench, err)
+	}
+
+	sims := make([]*pipeline.Simulator, len(cells))
+	for i, c := range cells {
+		if sims[i], err = pipeline.New(im, c.Point.Cfg); err != nil {
+			return wrap(c, err)
+		}
+		if err = sims[i].StartChunked(m.Budget); err != nil {
+			return wrap(c, err)
+		}
+	}
+	shared := true
+	sel := cells[0].Point.Cfg.Select
+	for _, c := range cells[1:] {
+		if c.Point.Cfg.Select != sel {
+			shared = false
+			break
+		}
+	}
+
+	var runErr error
+	labels := pprof.Labels("bench", bench, "point", fmt.Sprintf("broadcast(%d)", len(cells)))
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		decodePasses.Add(1)
+		cr := st.DecodeChunks(0)
+		defer cr.Close()
+
+		var seg *trace.ChunkSegmenter
+		if shared {
+			seg = trace.NewChunkSegmenter(sel)
+		}
+		alive := make([]bool, len(sims))
+		for i := range alive {
+			alive[i] = true
+		}
+		live := len(sims)
+
+		for live > 0 {
+			chunk, ok := cr.Next()
+			if !ok {
+				break
+			}
+			if runErr = ctx.Err(); runErr != nil {
+				return
+			}
+			if shared {
+				// Segment once; fan each borrowed trace out to every
+				// live member while its dyns are hot in cache.
+				for len(chunk) > 0 {
+					used, tr, dyns := seg.Feed(chunk)
+					if tr == nil {
+						break
+					}
+					chunk = chunk[used:]
+					for i, sim := range sims {
+						if !alive[i] {
+							continue
+						}
+						done, err := sim.RunTrace(tr, dyns)
+						if err != nil {
+							runErr = wrap(cells[i], err)
+							return
+						}
+						if done {
+							alive[i] = false
+							live--
+						}
+					}
+				}
+			} else {
+				for i, sim := range sims {
+					if !alive[i] {
+						continue
+					}
+					done, err := sim.RunChunk(chunk)
+					if err != nil {
+						runErr = wrap(cells[i], err)
+						return
+					}
+					if done {
+						alive[i] = false
+						live--
+					}
+				}
+			}
+		}
+		if err := cr.Err(); err != nil {
+			runErr = fmt.Errorf("harness: %s: %s: %w", m.Name, bench, err)
+			return
+		}
+		for i, sim := range sims {
+			res, err := sim.Finish()
+			if err != nil {
+				runErr = wrap(cells[i], err)
+				return
+			}
+			cells[i].Result = res
+		}
+	})
+	return runErr
+}
+
+// runGroups partitions the grid's cells into stream-sharing groups and
+// returns them in declaration order. With broadcast (and replay) off,
+// every cell is its own group, reproducing per-cell dispatch.
+func runGroups(g *Grid) [][]int {
+	if !ReplayOn() || !BroadcastOn() {
+		groups := make([][]int, len(g.Cells))
+		for i := range g.Cells {
+			groups[i] = []int{i}
+		}
+		return groups
+	}
+	type gkey struct {
+		bench string
+		seed  int64
+	}
+	index := map[gkey]int{}
+	var groups [][]int
+	for i := range g.Cells {
+		k := gkey{g.Cells[i].Bench, g.Cells[i].Seed}
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// broadcastMatrix is the shape of the issue's bit-identity check: the
+// three cross-design frontend compositions — split, split+precon,
+// adaptive — plus two Figure 5 storage points, all sharing one recorded
+// gcc stream.
+func broadcastMatrix() Matrix {
+	adaptive := precon(64, 64)
+	adaptive.AdaptivePartition = true
+	return Matrix{
+		Name:    "broadcast-equiv",
+		Benches: []string{"gcc"},
+		Budget:  60_000,
+		Points: []ConfigPoint{
+			{Name: "split", Cfg: baseline(64)},
+			{Name: "split-precon", Cfg: precon(64, 64)},
+			{Name: "adaptive", Cfg: adaptive},
+			{Name: "tc256-pb64", Cfg: precon(256, 64)},
+			{Name: "tc64-pb256", Cfg: precon(64, 256)},
+		},
+	}
+}
+
+// runBothModes executes the matrix with broadcast on and off and
+// returns both grids.
+func runBothModes(t *testing.T, m Matrix) (on, off *Grid) {
+	t.Helper()
+	ctx := context.Background()
+	defer SetBroadcast(SetBroadcast(true))
+	var err error
+	if on, err = Run(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	SetBroadcast(false)
+	if off, err = Run(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	return on, off
+}
+
+// TestBroadcastEquivalence asserts the decode-once broadcast path is
+// measurement-invisible: every cell's full Result — counters, cycles,
+// nested component stats — matches the per-cell replay path exactly.
+func TestBroadcastEquivalence(t *testing.T) {
+	on, off := runBothModes(t, broadcastMatrix())
+	for i := range off.Cells {
+		a, b := &on.Cells[i], &off.Cells[i]
+		if a.Bench != b.Bench || a.Point.Name != b.Point.Name {
+			t.Fatalf("cell %d: grids disagree on identity (%s/%s vs %s/%s)",
+				i, a.Bench, a.Point.Name, b.Bench, b.Point.Name)
+		}
+		if !reflect.DeepEqual(a.Result, b.Result) {
+			t.Errorf("%s/%s: broadcast Result differs from per-cell replay:\nbroadcast %+v\npercell   %+v",
+				a.Bench, a.Point.Name, a.Result, b.Result)
+		}
+	}
+}
+
+// TestBroadcastMixedSelect covers the group fallback: when the group's
+// members disagree on SelectConfig, the shared-segmentation fast path
+// is off the table and each member segments the broadcast chunks itself
+// (RunChunk). Results must still match per-cell replay exactly.
+func TestBroadcastMixedSelect(t *testing.T) {
+	short := baseline(64)
+	short.Select.MaxLen = 8
+	m := Matrix{
+		Name:    "broadcast-mixed",
+		Benches: []string{"compress"},
+		Budget:  50_000,
+		Points: []ConfigPoint{
+			{Name: "len16", Cfg: baseline(64)},
+			{Name: "len8", Cfg: short},
+			{Name: "len16-pb", Cfg: precon(64, 64)},
+		},
+	}
+	on, off := runBothModes(t, m)
+	for i := range off.Cells {
+		a, b := &on.Cells[i], &off.Cells[i]
+		if !reflect.DeepEqual(a.Result, b.Result) {
+			t.Errorf("%s/%s: mixed-select broadcast Result differs:\nbroadcast %+v\npercell   %+v",
+				a.Bench, a.Point.Name, a.Result, b.Result)
+		}
+	}
+}
+
+// TestBroadcastDecodesOnce pins the decode-once contract against the
+// decode-pass counter: a broadcast group of N cells costs exactly one
+// pass over the recorded stream, while per-cell replay costs N.
+func TestBroadcastDecodesOnce(t *testing.T) {
+	m := broadcastMatrix()
+	ctx := context.Background()
+	defer SetBroadcast(SetBroadcast(true))
+
+	// Warm the stream cache so recording happens outside the window.
+	if _, err := Run(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+
+	before := DecodePasses()
+	if _, err := Run(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodePasses() - before; got != 1 {
+		t.Errorf("broadcast sweep of %d cells took %d decode passes, want 1", len(m.Points), got)
+	}
+
+	SetBroadcast(false)
+	before = DecodePasses()
+	if _, err := Run(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodePasses() - before; got != uint64(len(m.Points)) {
+		t.Errorf("per-cell sweep of %d cells took %d decode passes, want %d",
+			len(m.Points), got, len(m.Points))
+	}
+}
+
+// TestBroadcastStreamCacheBytes checks decoded chunk buffers never hit
+// the stream cache's encoded-bytes accounting: the cache holds
+// encodings only, so a broadcast sweep leaves its byte total exactly
+// where recording put it.
+func TestBroadcastStreamCacheBytes(t *testing.T) {
+	m := broadcastMatrix()
+	ctx := context.Background()
+	defer SetBroadcast(SetBroadcast(true))
+	if _, err := Run(ctx, m); err != nil {
+		t.Fatal(err) // records the stream
+	}
+	entries, bytes := StreamCacheStats()
+	if _, err := Run(ctx, m); err != nil {
+		t.Fatal(err) // broadcast replay: decode must not be charged
+	}
+	e2, b2 := StreamCacheStats()
+	if e2 != entries || b2 != bytes {
+		t.Errorf("broadcast sweep moved stream cache accounting: %d entries/%d bytes -> %d/%d",
+			entries, bytes, e2, b2)
+	}
+}
+
+// TestRunGroups checks the partition: broadcast groups cells by
+// (bench, seed) in declaration order; with broadcast off every cell is
+// its own group.
+func TestRunGroups(t *testing.T) {
+	m := Matrix{
+		Name:    "grouping",
+		Benches: []string{"gcc", "go"},
+		Seeds:   []int64{0, 1},
+		Budget:  1_000,
+		Points: []ConfigPoint{
+			{Name: "a", Cfg: baseline(64)},
+			{Name: "b", Cfg: baseline(128)},
+		},
+	}
+	g := &Grid{Matrix: m, index: map[cellKey]int{}}
+	for _, b := range m.Benches {
+		for _, s := range m.seeds() {
+			for _, p := range m.Points {
+				g.index[cellKey{b, s, p.Name}] = len(g.Cells)
+				g.Cells = append(g.Cells, Cell{Bench: b, Seed: s, Point: p})
+			}
+		}
+	}
+
+	defer SetBroadcast(SetBroadcast(true))
+	groups := runGroups(g)
+	if len(groups) != 4 { // 2 benches x 2 seeds
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	for _, idx := range groups {
+		if len(idx) != 2 {
+			t.Fatalf("group %v: want 2 members", idx)
+		}
+		a, b := &g.Cells[idx[0]], &g.Cells[idx[1]]
+		if a.Bench != b.Bench || a.Seed != b.Seed {
+			t.Errorf("group %v mixes streams: %s/%d and %s/%d", idx, a.Bench, a.Seed, b.Bench, b.Seed)
+		}
+	}
+
+	SetBroadcast(false)
+	groups = runGroups(g)
+	if len(groups) != len(g.Cells) {
+		t.Fatalf("broadcast off: got %d groups, want %d singletons", len(groups), len(g.Cells))
+	}
+	for i, idx := range groups {
+		if len(idx) != 1 || idx[0] != i {
+			t.Fatalf("broadcast off: group %d = %v, want [%d]", i, idx, i)
+		}
+	}
+}

@@ -260,21 +260,32 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 	}
 	report()
 
-	err := forEach(ctx, len(g.Cells), o.workers, func(i int) error {
-		c := &g.Cells[i]
-		im, err := ImageSeed(c.Bench, c.Seed)
-		if err != nil {
-			return fmt.Errorf("harness: %s: %s: %w", m.Name, c.Bench, err)
+	// Fan out over stream-sharing groups rather than individual cells:
+	// cells that replay the same recorded stream run broadcast (one
+	// decode pass, member simulators in lockstep), cells with unique
+	// streams take the per-cell path. Workers bound concurrent groups.
+	groups := runGroups(g)
+	err := forEach(ctx, len(groups), o.workers, func(gi int) error {
+		idx := groups[gi]
+		var err error
+		if len(idx) == 1 {
+			err = runCell(ctx, m, &g.Cells[idx[0]])
+		} else {
+			cells := make([]*Cell, len(idx))
+			for j, i := range idx {
+				cells[j] = &g.Cells[i]
+			}
+			err = broadcastRun(ctx, m, cells)
 		}
-		res, err := runKeyed(im, streamKey{name: c.Bench, seed: c.Seed, budget: m.Budget}, c.Point.Cfg, m.Budget)
 		if err != nil {
-			return fmt.Errorf("harness: %s: %s/%s: %w", m.Name, c.Bench, c.Point.Name, err)
+			return err
 		}
-		c.Result = res
-		progressMu.Lock()
-		done++
-		progressMu.Unlock()
-		report()
+		for range idx {
+			progressMu.Lock()
+			done++
+			progressMu.Unlock()
+			report()
+		}
 		return nil
 	})
 	if err != nil {

@@ -209,6 +209,7 @@ func runKeyed(im *program.Image, key streamKey, cfg pipeline.Config, budget uint
 		if err != nil {
 			return pipeline.Result{}, err
 		}
+		decodePasses.Add(1)
 		return sim.RunStream(st, budget)
 	}
 	return sim.Run(budget)

@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"errors"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"tracepre/internal/emulator"
+)
+
+// TestChunkedRunMatchesRunSource drives StartChunked/RunChunk/Finish by
+// hand over a recorded stream and requires the full Result to equal the
+// RunSource reference — including the budget-tail case where the stream
+// outruns the budget and a trace completes past the remaining headroom.
+func TestChunkedRunMatchesRunSource(t *testing.T) {
+	im := memLoopImage(t, 400)
+	st, err := emulator.Record(im, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []uint64{10_000, 7_777, 100} {
+		for _, chunkLen := range []int{1, 33, emulator.DefaultChunkLen} {
+			cfg := DefaultConfig().WithTraceCache(64).WithPrecon(64)
+			want, err := MustNew(im, cfg).RunSource(st.Replay(), budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sim := MustNew(im, cfg)
+			if err := sim.StartChunked(budget); err != nil {
+				t.Fatal(err)
+			}
+			cr := st.DecodeChunks(chunkLen)
+			for {
+				chunk, ok := cr.Next()
+				if !ok {
+					break
+				}
+				done, err := sim.RunChunk(chunk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					break
+				}
+			}
+			if err := cr.Err(); err != nil {
+				t.Fatal(err)
+			}
+			cr.Close()
+			got, err := sim.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("budget=%d chunkLen=%d: chunked result differs:\nchunked %+v\nsource  %+v",
+					budget, chunkLen, got, want)
+			}
+		}
+	}
+}
+
+// TestChunkedRunContract pins the chunked-run state machine: RunChunk,
+// RunTrace and Finish before StartChunked report ErrNotChunked;
+// StartChunked claims the simulator's single run (a second Start or any
+// Run* entry point returns ErrRunTwice); RunChunk after budget
+// exhaustion keeps reporting done without error; Finish seals the run
+// so further Finish calls report ErrNotChunked.
+func TestChunkedRunContract(t *testing.T) {
+	im := loopImage(t, 50)
+	st, err := emulator.Record(im, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(im, DefaultConfig())
+	if _, err := sim.RunChunk(nil); !errors.Is(err, ErrNotChunked) {
+		t.Errorf("RunChunk before Start = %v, want ErrNotChunked", err)
+	}
+	if _, err := sim.RunTrace(nil, nil); !errors.Is(err, ErrNotChunked) {
+		t.Errorf("RunTrace before Start = %v, want ErrNotChunked", err)
+	}
+	if _, err := sim.Finish(); !errors.Is(err, ErrNotChunked) {
+		t.Errorf("Finish before Start = %v, want ErrNotChunked", err)
+	}
+
+	if err := sim.StartChunked(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.StartChunked(100); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("second StartChunked = %v, want ErrRunTwice", err)
+	}
+	if _, err := sim.Run(100); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("Run after StartChunked = %v, want ErrRunTwice", err)
+	}
+	if _, err := sim.RunStream(st, 100); !errors.Is(err, ErrRunTwice) {
+		t.Errorf("RunStream after StartChunked = %v, want ErrRunTwice", err)
+	}
+
+	cr := st.DecodeChunks(0)
+	defer cr.Close()
+	chunk, ok := cr.Next()
+	if !ok {
+		t.Fatal("no chunk")
+	}
+	done, err := sim.RunChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("a 100-instruction budget survived a full default chunk")
+	}
+	// Feeding past exhaustion is allowed and inert.
+	if done, err := sim.RunChunk(chunk); err != nil || !done {
+		t.Errorf("RunChunk after exhaustion = (%v, %v), want (true, nil)", done, err)
+	}
+
+	if _, err := sim.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Finish(); !errors.Is(err, ErrNotChunked) {
+		t.Errorf("second Finish = %v, want ErrNotChunked", err)
+	}
+}
+
+// TestChunkLoopSteadyStateAllocs checks the chunked hot loop is
+// allocation-free once warm: decoding chunks and feeding them through
+// RunChunk must reuse the pooled chunk buffers and the simulator's own
+// scratch, with zero allocations per pass attributable to the loop.
+// Trace-store slab growth is the one legitimate allocator on this path,
+// so the measured simulator uses a trace cache small enough to be fully
+// populated during warming.
+func TestChunkLoopSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; exact pool accounting only holds without it")
+	}
+	im := loopImage(t, 2_000) // ~14 instrs/iteration, outruns the budget
+	const budget = 20_000
+	st, err := emulator.Record(im, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		sim := MustNew(im, DefaultConfig().WithTraceCache(16))
+		if err := sim.StartChunked(budget); err != nil {
+			t.Fatal(err)
+		}
+		cr := st.DecodeChunks(0)
+		defer cr.Close()
+		for {
+			chunk, ok := cr.Next()
+			if !ok {
+				break
+			}
+			done, err := sim.RunChunk(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		if err := cr.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// GC off for the window: a collection may legitimately empty the
+	// sync.Pool behind the chunk buffers.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 3; i++ {
+		run() // warm pools, store slabs, and the intern table
+	}
+	before := emulator.ChunkBufAllocs()
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		run()
+	}
+	if got := emulator.ChunkBufAllocs() - before; got != 0 {
+		t.Errorf("steady-state chunk loop allocated %d chunk buffers over %d runs, want 0", got, runs)
+	}
+}

@@ -146,7 +146,8 @@ type Simulator struct {
 	mem *mem.Hierarchy // shared by I-side, D-side, and precon fetches
 
 	res Result
-	ran bool // Run/RunSource consumed this simulator
+	ran bool      // Run/RunSource/StartChunked consumed this simulator
+	ck  *chunkRun // resumable chunked-run state (nil outside StartChunked..Finish)
 
 	fetchFree   uint64
 	lastRetire  uint64
@@ -160,6 +161,21 @@ type Simulator struct {
 // are warm from the first run, so a second pass would silently measure
 // a machine the paper never describes.
 var ErrRunTwice = errors.New("pipeline: Run may be called only once per Simulator")
+
+// ErrNotChunked is returned by RunChunk, RunTrace and Finish when no
+// chunked run is open (StartChunked not called, or Finish already
+// sealed the run).
+var ErrNotChunked = errors.New("pipeline: no chunked run in progress (call StartChunked first)")
+
+// chunkRun is the resumable state of a chunked run: the per-simulator
+// segmenter (carrying a partial trace across chunk boundaries) and the
+// committed-instruction budget accounting that RunStream's loop used to
+// keep in locals.
+type chunkRun struct {
+	seg    *trace.ChunkSegmenter
+	n      uint64 // committed instructions consumed (completed traces only)
+	budget uint64
+}
 
 // dynPool recycles dispatch buffers across runs. Trace selection caps
 // traces at 16 instructions (trace.SelectConfig.Validate), so one pooled
@@ -262,30 +278,117 @@ func (s *Simulator) RunSource(src emulator.Source, budget uint64) (Result, error
 	return s.runSource(src, budget)
 }
 
-// RunStream drives the simulator from a recorded stream through the
-// fused trace-level decoder (trace.StreamSegmenter), which skips the
-// per-instruction Dyn round trip RunSource pays. Measurements are
+// RunStream drives the simulator from a recorded stream: a thin wrapper
+// over the resumable chunked entry points — the stream is decoded into
+// chunks once (emulator.ChunkedReplayer, decode overlapping
+// consumption) and stepped through RunChunk. Measurements are
 // bit-identical to Run and RunSource on the same stream; like them,
 // RunStream may be called once per Simulator.
 func (s *Simulator) RunStream(st *emulator.Stream, budget uint64) (Result, error) {
-	if s.ran {
-		return s.res, ErrRunTwice
+	if err := s.StartChunked(budget); err != nil {
+		return s.res, err
 	}
-	s.ran = true
-	ss := trace.NewStreamSegmenter(st, s.cfg.Select)
-	var n uint64
-	for n < budget {
-		tr, dyns, ok := ss.NextTrace(budget - n)
+	cr := st.DecodeChunks(0)
+	defer cr.Close()
+	for {
+		chunk, ok := cr.Next()
 		if !ok {
 			break
 		}
-		n += uint64(len(dyns))
-		s.onTrace(tr, dyns)
+		done, err := s.RunChunk(chunk)
+		if err != nil {
+			return s.res, err
+		}
+		if done {
+			break
+		}
 	}
-	if err := ss.Err(); err != nil {
+	if err := cr.Err(); err != nil {
 		return s.res, fmt.Errorf("pipeline: %w", err)
 	}
-	// A final partial trace (if any) is dropped, as in runSource.
+	return s.Finish()
+}
+
+// StartChunked opens a resumable chunked run: subsequent RunChunk (or
+// RunTrace) calls feed the decoded stream piecewise and Finish seals
+// the measurements. It claims the simulator's single run — a second
+// Start (or any Run* call) returns ErrRunTwice.
+func (s *Simulator) StartChunked(budget uint64) error {
+	if s.ran {
+		return ErrRunTwice
+	}
+	s.ran = true
+	s.ck = &chunkRun{seg: trace.NewChunkSegmenter(s.cfg.Select), budget: budget}
+	return nil
+}
+
+// RunChunk consumes one decoded chunk of the committed instruction
+// stream, segmenting it into demanded traces with the simulator's own
+// selection state (partial traces resume across chunk boundaries).
+// Chunks must arrive in stream order, each borrowed only for the call.
+// done reports that the budget is exhausted: the caller may stop
+// feeding and call Finish (further chunks are ignored). A final partial
+// trace is dropped at Finish, exactly as RunStream always has.
+func (s *Simulator) RunChunk(chunk []emulator.Dyn) (done bool, err error) {
+	ck := s.ck
+	if ck == nil {
+		return false, ErrNotChunked
+	}
+	for len(chunk) > 0 {
+		rem := ck.budget - ck.n
+		if rem == 0 {
+			return true, nil
+		}
+		used, tr, dyns := ck.seg.Feed(chunk)
+		if tr == nil {
+			return false, nil
+		}
+		chunk = chunk[used:]
+		k := uint64(len(dyns))
+		if k > rem {
+			// The trace completes beyond the budget: drop it, as the
+			// stream loop drops a trace it cannot finish decoding.
+			ck.n = ck.budget
+			return true, nil
+		}
+		ck.n += k
+		s.onTrace(tr, dyns)
+	}
+	return ck.n >= ck.budget, nil
+}
+
+// RunTrace consumes one pre-segmented demanded trace. It is the
+// broadcast fast path: when every simulator in a group shares one
+// SelectConfig, the group scheduler segments each decoded chunk once
+// and fans the resulting traces out, so neither decode nor selection is
+// repeated per member. tr and dyns must come from a segmenter with this
+// simulator's selection rules over the same stream prefix, in order,
+// and are borrowed only for the call. Do not mix RunTrace with RunChunk
+// on one simulator: RunChunk's own segmenter would miss the
+// instructions RunTrace consumed.
+func (s *Simulator) RunTrace(tr *trace.Trace, dyns []emulator.Dyn) (done bool, err error) {
+	ck := s.ck
+	if ck == nil {
+		return false, ErrNotChunked
+	}
+	k := uint64(len(dyns))
+	if k > ck.budget-ck.n {
+		ck.n = ck.budget
+		return true, nil
+	}
+	ck.n += k
+	s.onTrace(tr, dyns)
+	return ck.n == ck.budget, nil
+}
+
+// Finish seals a chunked run: the unfinished partial trace (if any) is
+// dropped — it never became a demanded trace — and the component
+// statistics fold into the returned Result.
+func (s *Simulator) Finish() (Result, error) {
+	if s.ck == nil {
+		return s.res, ErrNotChunked
+	}
+	s.ck = nil
 	s.finalize()
 	return s.res, nil
 }
