@@ -59,10 +59,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'InternHit|InternChurn|Clone' \
 		-benchtime 1x -benchmem ./internal/trace/
 	$(GO) test -run '^$$' -bench 'Figure5Broadcast' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'Figure5Sampled' -benchtime 1x -benchmem .
 	$(GO) test -run TestInternSteadyStateAllocs -count 1 ./internal/trace/
 	$(GO) test -run 'TestChunkLoopSteadyStateAllocs' -count 1 ./internal/pipeline/
 	$(GO) test -run 'TestChunkBufPoolSteadyState' -count 1 ./internal/emulator/
 	$(GO) test -run 'TestBroadcast' -count 1 ./internal/harness/
+	$(GO) test -run 'TestFastForwardSteadyStateAllocs' -count 1 ./internal/pipeline/
+	$(GO) test -run 'TestSampledCoversFullRunCI' -count 1 ./internal/core/
+	$(GO) test -run 'TestSampled' -count 1 ./internal/harness/ ./internal/sample/
 
 # Regenerate every paper table/figure plus the extension studies at the
 # full default budget (writes to stdout; takes a few minutes).

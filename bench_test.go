@@ -8,12 +8,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
 	"tracepre/internal/core"
 	"tracepre/internal/emulator"
 	"tracepre/internal/harness"
+	"tracepre/internal/sample"
 )
 
 // benchBudget keeps testing.B iterations affordable while still
@@ -368,28 +370,13 @@ func BenchmarkFigure5Precon(b *testing.B) {
 // measured (BENCH_broadcast.json records the interleaved ABBA ratio).
 func BenchmarkFigure5Broadcast(b *testing.B) {
 	benches := []string{"gcc", "go"}
-	var pts []harness.ConfigPoint
-	for _, pb := range core.Figure5PBSizes {
-		if pb == 0 {
-			continue
-		}
-		for _, tc := range core.Figure5TCSizes {
-			if pb >= 256 && tc >= 1024 {
-				continue
-			}
-			pts = append(pts, harness.ConfigPoint{
-				Name: fmt.Sprintf("tc%d/pb%d", tc, pb),
-				Cfg:  core.PreconConfig(tc, pb),
-			})
-		}
-	}
-	m := harness.Matrix{Name: "fig5-pb", Benches: benches, Budget: benchBudget, Points: pts}
+	m := harness.Matrix{Name: "fig5-pb", Benches: benches, Budget: benchBudget, Points: figure5PBPoints()}
 	ctx := context.Background()
 	// Warm the stream cache once so neither mode measures recording.
 	if _, err := harness.Run(ctx, m); err != nil {
 		b.Fatal(err)
 	}
-	instrs := int64(len(benches)) * int64(len(pts)) * int64(benchBudget)
+	instrs := int64(len(benches)) * int64(len(m.Points)) * int64(benchBudget)
 	for _, mode := range []struct {
 		name string
 		on   bool
@@ -406,6 +393,156 @@ func BenchmarkFigure5Broadcast(b *testing.B) {
 			}
 		})
 	}
+}
+
+// figure5PBPoints builds the 18-cell PB>0 configuration grid the
+// Figure 5 sweep benchmarks share.
+func figure5PBPoints() []harness.ConfigPoint {
+	var pts []harness.ConfigPoint
+	for _, pb := range core.Figure5PBSizes {
+		if pb == 0 {
+			continue
+		}
+		for _, tc := range core.Figure5TCSizes {
+			if pb >= 256 && tc >= 1024 {
+				continue
+			}
+			pts = append(pts, harness.ConfigPoint{
+				Name: fmt.Sprintf("tc%d/pb%d", tc, pb),
+				Cfg:  core.PreconConfig(tc, pb),
+			})
+		}
+	}
+	return pts
+}
+
+// medianIPCErrPct returns the median per-cell IPC error of a sampled
+// grid against its full-detail reference.
+func medianIPCErrPct(full, sampled *harness.Grid) float64 {
+	errs := make([]float64, 0, len(sampled.Cells))
+	for j := range sampled.Cells {
+		s := &sampled.Cells[j]
+		f := full.MustCellSeed(s.Bench, s.Seed, s.Point.Name)
+		errs = append(errs, harness.SampledErrorPct(harness.IPC, f, s))
+	}
+	sort.Float64s(errs)
+	return errs[len(errs)/2]
+}
+
+// BenchmarkFigure5Sampled is the Figure 5 PB>0 sweep — the same 18
+// cells as BenchmarkFigure5Broadcast — run full-detail versus under
+// statistically sampled simulation (internal/sample, budget-derived
+// plan). At this smoke-scale budget the plan is at its smallest —
+// 32 tiny measurement units, warm tails halved down with them — so the
+// speedup and error here are the floor, not the headline; the
+// paper-scale economics live in BenchmarkFigure5PaperScale. The
+// sampled side reports the median IPC error of its cells against the
+// full-detail reference (BENCH_sampling.json records the interleaved
+// ABBA wall-clock ratio and the error).
+func BenchmarkFigure5Sampled(b *testing.B) {
+	benches := []string{"gcc", "go"}
+	m := harness.Matrix{Name: "fig5-pb-sampled", Benches: benches, Budget: benchBudget, Points: figure5PBPoints()}
+	ctx := context.Background()
+	plan := sample.PlanForBudget(benchBudget)
+	// Full-detail reference grid; also warms the stream cache so
+	// neither timed mode measures recording.
+	full, err := harness.Run(ctx, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instrs := int64(len(benches)) * int64(len(m.Points)) * int64(benchBudget)
+
+	b.Run("full", func(b *testing.B) {
+		b.SetBytes(instrs)
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Run(ctx, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		b.SetBytes(instrs)
+		for i := 0; i < b.N; i++ {
+			g, err := harness.Run(ctx, m, harness.WithSampling(plan))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(medianIPCErrPct(full, g), "medianIPCerr%")
+			}
+		}
+	})
+}
+
+// BenchmarkFigure5PaperScale is the paper-scale economics of sampled
+// simulation on the Figure 5 PB>0 sweep. Three modes over the same 18
+// cells:
+//
+//   - full-20M: today's practical full-detail ceiling — every
+//     instruction through the detailed pipeline.
+//   - sampled-20M: the same budget under the budget-derived plan. At
+//     20M the plan keeps the full-size units and warm tails
+//     (20k detail / 30k warm / 240k model-warm) and stretches the skip
+//     until ~20 units fit, so most of the stream is a raw decode-once
+//     stretch shared by the broadcast group. Reports the median IPC
+//     error against full-20M — this is the ≥5x-at-≤2% headline.
+//   - sampled-200M: the paper's actual per-benchmark instruction count.
+//     The claim worth keeping: a 200M-instruction sampled sweep costs
+//     less wall clock than the 20M full-detail sweep it replaces.
+//
+// Stream caches for both budgets are warmed before timing, so no mode
+// measures recording.
+func BenchmarkFigure5PaperScale(b *testing.B) {
+	const fullBudget = 20_000_000
+	const paperBudget = 200_000_000
+	benches := []string{"gcc", "go"}
+	pts := figure5PBPoints()
+	mFull := harness.Matrix{Name: "fig5-pb-20M", Benches: benches, Budget: fullBudget, Points: pts}
+	mPaper := harness.Matrix{Name: "fig5-pb-200M", Benches: benches, Budget: paperBudget, Points: pts}
+	ctx := context.Background()
+
+	// Full-detail reference grid at 20M: the error baseline, and the
+	// 20M stream-cache warmer.
+	full, err := harness.Run(ctx, mFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the 200M stream cache with a throwaway sampled run.
+	if _, err := harness.Run(ctx, mPaper, harness.WithSampling(sample.PlanForBudget(paperBudget))); err != nil {
+		b.Fatal(err)
+	}
+	cells := int64(len(benches)) * int64(len(pts))
+
+	b.Run("full-20M", func(b *testing.B) {
+		b.SetBytes(cells * fullBudget)
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Run(ctx, mFull); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampled-20M", func(b *testing.B) {
+		b.SetBytes(cells * fullBudget)
+		plan := sample.PlanForBudget(fullBudget)
+		for i := 0; i < b.N; i++ {
+			g, err := harness.Run(ctx, mFull, harness.WithSampling(plan))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(medianIPCErrPct(full, g), "medianIPCerr%")
+			}
+		}
+	})
+	b.Run("sampled-200M", func(b *testing.B) {
+		b.SetBytes(cells * paperBudget)
+		plan := sample.PlanForBudget(paperBudget)
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Run(ctx, mPaper, harness.WithSampling(plan)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 type discard struct{}

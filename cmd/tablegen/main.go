@@ -10,6 +10,7 @@
 //	tablegen -exp fig5 -bench gcc,go
 //	tablegen -exp all -format csv -out results/
 //	tablegen -exp fig6 -progress
+//	tablegen -exp fig5 -n 200000000 -sample
 //	tablegen -list
 //
 // -format selects the renderer: table (aligned ASCII, the default),
@@ -18,6 +19,15 @@
 // sweep completion (cells done/total, elapsed, ETA) on stderr.
 // Interrupting a sweep (SIGINT/SIGTERM) cancels in-flight experiments
 // promptly.
+//
+// -sample runs every sweep cell under statistically sampled simulation
+// (internal/sample): long fast-forward stretches between short
+// full-detail measurement units, with table cells rendered as
+// `value ±halfwidth` 95% confidence intervals. The schedule derives
+// from the budget; -sample-detail, -sample-warm and -sample-target-ci
+// override the unit length, detailed warm-up length, and adaptive
+// stopping target. This is what makes paper-scale 200M-instruction
+// sweeps affordable.
 package main
 
 import (
@@ -36,23 +46,64 @@ import (
 
 	"tracepre/internal/core"
 	"tracepre/internal/harness"
+	"tracepre/internal/sample"
 )
+
+// samplePlan builds and validates the sampling schedule from the
+// command line: a budget-derived default with optional overrides.
+// detail and warm are -1 when the flag was not given.
+func samplePlan(budget uint64, detail, warm int64, targetCI float64, replay bool) (sample.Plan, error) {
+	if budget == 0 {
+		return sample.Plan{}, errors.New("-n 0: sampling needs a positive instruction budget")
+	}
+	if !replay {
+		return sample.Plan{}, errors.New("-sample requires -replay=true (the fast-forward phase consumes a recorded stream)")
+	}
+	if detail < -1 || detail == 0 {
+		return sample.Plan{}, fmt.Errorf("-sample-detail %d: measurement units must be positive", detail)
+	}
+	if warm < -1 {
+		return sample.Plan{}, fmt.Errorf("-sample-warm %d: warm-up length cannot be negative", warm)
+	}
+	if targetCI < 0 {
+		return sample.Plan{}, fmt.Errorf("-sample-target-ci %v: relative half-width target cannot be negative", targetCI)
+	}
+	p := sample.PlanForBudget(budget)
+	if detail > 0 {
+		p.Detail = uint64(detail)
+	}
+	if warm >= 0 {
+		p.Warm = uint64(warm)
+	}
+	p.TargetRelCI = targetCI
+	if p.Warm > p.Skip {
+		return sample.Plan{}, fmt.Errorf("-sample-warm %d exceeds the %d-instruction skip (warm-up is the skip's tail)", p.Warm, p.Skip)
+	}
+	if err := p.Validate(); err != nil {
+		return sample.Plan{}, err
+	}
+	return p, nil
+}
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (fig5, tables123, fig6, fig8, ext-*, ablation-*, all)")
-		n          = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
-		bench      = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		format     = flag.String("format", "table", "output format: table, csv or json")
-		asJSON     = flag.Bool("json", false, "emit structured JSON (shorthand for -format json)")
-		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
-		progress   = flag.Bool("progress", false, "report sweep progress (done/total, elapsed, ETA) on stderr")
-		jobs       = flag.Int("j", 0, "max concurrent sweep cells (0: one per CPU)")
-		replay     = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
-		broadcast  = flag.Bool("broadcast", true, "decode each recorded stream once per sweep group and step the group's cells in lockstep (-broadcast=false replays per cell)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp          = flag.String("exp", "all", "experiment id (fig5, tables123, fig6, fig8, ext-*, ablation-*, all)")
+		n            = flag.Uint64("n", core.DefaultBudget, "committed instructions per run")
+		bench        = flag.String("bench", "", "comma-separated benchmarks (default: the experiment's own set)")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		format       = flag.String("format", "table", "output format: table, csv or json")
+		asJSON       = flag.Bool("json", false, "emit structured JSON (shorthand for -format json)")
+		outDir       = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		progress     = flag.Bool("progress", false, "report sweep progress (done/total, elapsed, ETA) on stderr")
+		jobs         = flag.Int("j", 0, "max concurrent sweep cells (0: one per CPU)")
+		replay       = flag.Bool("replay", true, "record each benchmark's stream once and replay it to every sweep point (-replay=false re-emulates per run)")
+		broadcast    = flag.Bool("broadcast", true, "decode each recorded stream once per sweep group and step the group's cells in lockstep (-broadcast=false replays per cell)")
+		doSample     = flag.Bool("sample", false, "statistically sampled sweeps: fast-forward between short full-detail measurement units, cells become value ±95% CI")
+		sampleDetail = flag.Int64("sample-detail", -1, "measurement unit length in instructions (-1: derive from budget)")
+		sampleWarm   = flag.Int64("sample-warm", -1, "detailed warm-up instructions before each unit (-1: derive from budget)")
+		sampleCI     = flag.Float64("sample-target-ci", 0, "stop each cell early once its IPC 95% CI relative half-width reaches this (0: run the whole budget)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -85,6 +136,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *n == 0 {
+		fail(errors.New("-n 0: nothing to simulate"))
+	}
+	var plan sample.Plan
+	if *doSample {
+		var err error
+		if plan, err = samplePlan(*n, *sampleDetail, *sampleWarm, *sampleCI, *replay); err != nil {
+			fail(err)
+		}
+	}
+
 	// A signal cancels the context; the sweep engine stops dispatching
 	// cells and every in-flight experiment returns promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,6 +157,9 @@ func main() {
 	}
 	if *jobs > 0 {
 		ctx = harness.ContextWithWorkers(ctx, *jobs)
+	}
+	if *doSample {
+		ctx = harness.ContextWithSampling(ctx, plan)
 	}
 
 	if *progress {

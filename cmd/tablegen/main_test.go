@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplePlanValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		budget   uint64
+		detail   int64
+		warm     int64
+		targetCI float64
+		replay   bool
+		wantErr  string
+	}{
+		{name: "auto plan", budget: 2_000_000, detail: -1, warm: -1, replay: true},
+		{name: "paper scale", budget: 200_000_000, detail: -1, warm: -1, replay: true},
+		{name: "explicit lengths", budget: 2_000_000, detail: 1000, warm: 500, replay: true},
+		{name: "adaptive target", budget: 2_000_000, detail: -1, warm: -1, targetCI: 0.05, replay: true},
+		{name: "zero budget", budget: 0, detail: -1, warm: -1, replay: true, wantErr: "positive instruction budget"},
+		{name: "replay disabled", budget: 2_000_000, detail: -1, warm: -1, replay: false, wantErr: "requires -replay"},
+		{name: "zero detail", budget: 2_000_000, detail: 0, warm: -1, replay: true, wantErr: "must be positive"},
+		{name: "negative detail", budget: 2_000_000, detail: -2, warm: -1, replay: true, wantErr: "must be positive"},
+		{name: "negative warm", budget: 2_000_000, detail: -1, warm: -9, replay: true, wantErr: "cannot be negative"},
+		{name: "negative target", budget: 2_000_000, detail: -1, warm: -1, targetCI: -1, replay: true, wantErr: "cannot be negative"},
+		{name: "warm exceeds skip", budget: 2_000_000, detail: -1, warm: 1_000_000, replay: true, wantErr: "exceeds"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := samplePlan(c.budget, c.detail, c.warm, c.targetCI, c.replay)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("samplePlan accepted %+v: %+v", c, p)
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, c.wantErr)
+				}
+				if strings.ContainsRune(err.Error(), '\n') {
+					t.Fatalf("error is not one line: %q", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("samplePlan rejected %+v: %v", c, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("returned plan invalid: %v", err)
+			}
+			if p.Intervals(c.budget) < p.MinIntervals {
+				t.Errorf("plan yields %d intervals at budget %d, below minimum %d",
+					p.Intervals(c.budget), c.budget, p.MinIntervals)
+			}
+		})
+	}
+}

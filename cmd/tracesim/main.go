@@ -5,37 +5,105 @@
 //
 //	tracesim -bench gcc -tc 256 -pb 256 -n 2000000
 //	tracesim -bench vortex -tc 128 -pb 128 -timing -preproc
+//	tracesim -bench gcc -tc 256 -pb 256 -n 200000000 -sample
+//
+// -sample switches to statistically sampled simulation: long
+// fast-forward stretches between short full-detail measurement units,
+// reporting each metric as a mean with a Student-t 95% confidence
+// interval (see internal/sample). The schedule is derived from the
+// budget; -sample-detail, -sample-warm and -sample-target-ci override
+// the unit length, detailed warm-up length, and adaptive stopping
+// target.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"tracepre/internal/core"
+	"tracepre/internal/pipeline"
+	"tracepre/internal/sample"
 	"tracepre/internal/stats"
 )
 
+// samplePlan builds and validates the sampling schedule from the
+// command line: a budget-derived default with optional overrides.
+// detail and warm are -1 when the flag was not given.
+func samplePlan(budget uint64, detail, warm int64, targetCI float64, replay bool) (sample.Plan, error) {
+	if budget == 0 {
+		return sample.Plan{}, errors.New("-n 0: sampling needs a positive instruction budget")
+	}
+	if !replay {
+		return sample.Plan{}, errors.New("-sample requires -replay=true (the fast-forward phase consumes a recorded stream)")
+	}
+	if detail < -1 || detail == 0 {
+		return sample.Plan{}, fmt.Errorf("-sample-detail %d: measurement units must be positive", detail)
+	}
+	if warm < -1 {
+		return sample.Plan{}, fmt.Errorf("-sample-warm %d: warm-up length cannot be negative", warm)
+	}
+	if targetCI < 0 {
+		return sample.Plan{}, fmt.Errorf("-sample-target-ci %v: relative half-width target cannot be negative", targetCI)
+	}
+	p := sample.PlanForBudget(budget)
+	if detail > 0 {
+		p.Detail = uint64(detail)
+	}
+	if warm >= 0 {
+		p.Warm = uint64(warm)
+	}
+	p.TargetRelCI = targetCI
+	if p.Warm > p.Skip {
+		return sample.Plan{}, fmt.Errorf("-sample-warm %d exceeds the %d-instruction skip (warm-up is the skip's tail)", p.Warm, p.Skip)
+	}
+	if err := p.Validate(); err != nil {
+		return sample.Plan{}, err
+	}
+	return p, nil
+}
+
 func main() {
 	var (
-		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
-		tc       = flag.Int("tc", 512, "trace cache entries")
-		pb       = flag.Int("pb", 0, "preconstruction buffer entries (0 disables)")
-		n        = flag.Uint64("n", core.DefaultBudget, "committed instructions to simulate")
-		timing   = flag.Bool("timing", false, "enable the full backend timing model")
-		preproc  = flag.Bool("preproc", false, "enable fill-unit preprocessing (implies -timing)")
-		timeline = flag.Uint64("timeline", 0, "print a miss-rate sparkline, one point per this many instructions")
-		replay   = flag.Bool("replay", true, "drive the simulator from a recorded stream (shared across invocations in one process)")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
+		bench        = flag.String("bench", "gcc", "benchmark name (see -list)")
+		tc           = flag.Int("tc", 512, "trace cache entries")
+		pb           = flag.Int("pb", 0, "preconstruction buffer entries (0 disables)")
+		n            = flag.Uint64("n", core.DefaultBudget, "committed instructions to simulate")
+		timing       = flag.Bool("timing", false, "enable the full backend timing model")
+		preproc      = flag.Bool("preproc", false, "enable fill-unit preprocessing (implies -timing)")
+		timeline     = flag.Uint64("timeline", 0, "print a miss-rate sparkline, one point per this many instructions")
+		replay       = flag.Bool("replay", true, "drive the simulator from a recorded stream (shared across invocations in one process)")
+		doSample     = flag.Bool("sample", false, "statistically sampled simulation: fast-forward between short full-detail measurement units")
+		sampleDetail = flag.Int64("sample-detail", -1, "measurement unit length in instructions (-1: derive from budget)")
+		sampleWarm   = flag.Int64("sample-warm", -1, "detailed warm-up instructions before each unit (-1: derive from budget)")
+		sampleCI     = flag.Float64("sample-target-ci", 0, "stop early once the IPC 95% CI relative half-width reaches this (0: run the whole budget)")
+		list         = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 	core.SetReplay(*replay)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, b := range core.Benchmarks() {
 			fmt.Println(b)
 		}
 		return
+	}
+	if *n == 0 {
+		fail(errors.New("-n 0: nothing to simulate"))
+	}
+
+	var plan sample.Plan
+	if *doSample {
+		var err error
+		if plan, err = samplePlan(*n, *sampleDetail, *sampleWarm, *sampleCI, *replay); err != nil {
+			fail(err)
+		}
 	}
 
 	cfg := core.BaselineConfig(*tc)
@@ -46,10 +114,21 @@ func main() {
 		cfg = core.TimingConfig(cfg, *preproc)
 	}
 	cfg.WindowInstrs = *timeline
-	res, err := core.RunBenchmark(*bench, cfg, *n)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracesim:", err)
-		os.Exit(1)
+
+	var res pipeline.Result
+	var sampled *sample.Stats
+	if *doSample {
+		st, err := core.RunBenchmarkSampled(*bench, cfg, *n, plan)
+		if err != nil {
+			fail(err)
+		}
+		sampled = st
+		res = st.Aggregate
+	} else {
+		var err error
+		if res, err = core.RunBenchmark(*bench, cfg, *n); err != nil {
+			fail(err)
+		}
 	}
 
 	t := stats.NewTable(fmt.Sprintf("tracesim %s: TC=%d PB=%d budget=%d", *bench, *tc, *pb, *n),
@@ -71,6 +150,23 @@ func main() {
 		t.AddRow("d-cache misses", res.DCacheMisses)
 	}
 	fmt.Print(t.String())
+
+	if sampled != nil {
+		p := sampled.Plan
+		t3 := stats.NewTable(
+			fmt.Sprintf("sampled: detail %d / warm %d / skip %d, %d intervals",
+				p.Detail, p.Warm, p.Skip, len(sampled.Intervals)),
+			"metric", "mean ±95% CI")
+		t3.AddRow("IPC", sampled.IPCCI())
+		t3.AddRow("trace misses / 1000 instr", sampled.MetricCI(pipeline.Result.TCMissPerKI))
+		t3.AddRow("instr from i-cache / 1000 instr", sampled.MetricCI(pipeline.Result.ICacheInstrsPerKI))
+		t3.AddRow("i-cache misses / 1000 instr", sampled.MetricCI(pipeline.Result.ICacheMissesPerKI))
+		t3.AddRow("streamed instructions", sampled.Streamed)
+		t3.AddRow("measured instructions", sampled.MeasuredInstrs)
+		t3.AddRow("warm instructions", sampled.WarmInstrs)
+		t3.AddRow("fast-forwarded instructions", sampled.FFInstrs)
+		fmt.Print(t3.String())
+	}
 
 	if len(res.Windows) > 0 {
 		series := make([]float64, len(res.Windows))

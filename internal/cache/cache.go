@@ -145,6 +145,30 @@ func (c *Cache) Access(addr uint32) bool {
 	return false
 }
 
+// Warm looks up addr like Access — updating LRU state and filling the
+// line on a miss — but counts nothing: the sampled-simulation
+// fast-forward phase uses it to keep tags and recency current while
+// the statistics stay frozen. It returns true on a hit.
+func (c *Cache) Warm(addr uint32) bool {
+	set, tag := c.setAndTag(addr)
+	c.clock++
+	s := c.sets[set]
+	victim := 0
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].lru = c.clock
+			return true
+		}
+		if !s[i].valid {
+			victim = i
+		} else if s[victim].valid && s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	s[victim] = line{tag: tag, valid: true, lru: c.clock}
+	return false
+}
+
 // Probe reports whether addr is resident without changing any state.
 func (c *Cache) Probe(addr uint32) bool {
 	set, tag := c.setAndTag(addr)

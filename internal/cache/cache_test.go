@@ -324,3 +324,30 @@ func BenchmarkAccessMissHeavy(b *testing.B) {
 		c.Access(uint32(i*64) & 0xFFFFF)
 	}
 }
+
+func TestWarmFillsWithoutCounting(t *testing.T) {
+	c := small(t) // 2-way, 4 sets, 64B lines: set stride is 256B
+	if c.Warm(0x0000) {
+		t.Error("cold warm reported a hit")
+	}
+	if !c.Probe(0x0000) {
+		t.Error("warm did not fill the line")
+	}
+	if !c.Warm(0x0000) {
+		t.Error("warm of a resident line reported a miss")
+	}
+	// Warm participates in LRU exactly like Access: 0x0100 becomes the
+	// LRU way after re-warming 0x0000, so 0x0200 evicts it.
+	c.Warm(0x0100)
+	c.Warm(0x0000)
+	c.Warm(0x0200)
+	if c.Probe(0x0100) {
+		t.Error("warm did not maintain LRU order: 0x0100 should be evicted")
+	}
+	if !c.Probe(0x0000) || !c.Probe(0x0200) {
+		t.Error("warm evicted the wrong way")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("warm moved statistics: %+v", s)
+	}
+}

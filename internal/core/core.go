@@ -24,6 +24,7 @@ import (
 	"tracepre/internal/harness"
 	"tracepre/internal/pipeline"
 	"tracepre/internal/program"
+	"tracepre/internal/sample"
 	"tracepre/internal/workload"
 )
 
@@ -84,6 +85,18 @@ func RunBenchmark(name string, cfg pipeline.Config, budget uint64) (pipeline.Res
 		return pipeline.Result{}, fmt.Errorf("core: %s: %w", name, err)
 	}
 	return res, nil
+}
+
+// RunBenchmarkSampled simulates a benchmark under statistically sampled
+// simulation: fast-forward between short full-detail measurement units
+// per the plan, returning per-interval statistics with confidence
+// intervals (see internal/sample). Requires replay.
+func RunBenchmarkSampled(name string, cfg pipeline.Config, budget uint64, plan sample.Plan) (*sample.Stats, error) {
+	st, err := harness.RunBenchmarkSampled(name, 0, cfg, budget, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return st, nil
 }
 
 // RunImage simulates an arbitrary image (for custom workloads). Ad-hoc

@@ -149,7 +149,7 @@ func TestFigure8Small(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
+	if len(exps) != 12 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	for _, e := range exps {

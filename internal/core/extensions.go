@@ -318,6 +318,14 @@ func extensionExperiments() []Experiment {
 			},
 		},
 		{
+			ID:             "ext-sampling",
+			Title:          "Extension: statistically sampled simulation — confidence intervals vs full detail",
+			DefaultBenches: func() []string { return []string{"gcc", "go"} },
+			Result: func(ctx context.Context, budget uint64, benches []string) (harness.Tabler, error) {
+				return SamplingStudyCtx(ctx, budget, benches)
+			},
+		},
+		{
 			ID:             "ext-memory",
 			Title:          "Extension: memory sensitivity — modeled shared L2, MSHRs, precon interference",
 			DefaultBenches: func() []string { return []string{"gcc"} },

@@ -24,6 +24,7 @@ var goldenBenches = map[string][]string{
 	"sensitivity":     {"li"},
 	"seeds":           {"li"},
 	"ext-frontend":    {"compress", "li"},
+	"ext-sampling":    {"compress", "li"},
 	"ext-memory":      {"gcc"},
 }
 

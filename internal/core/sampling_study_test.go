@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSampledCoversFullRunCI is the sampled-simulation acceptance gate:
+// at the standard 2M-instruction budget, every compared metric's
+// full-detail value must lie inside the sampled run's 95% confidence
+// interval, and the point estimates of the precise headline metrics
+// must additionally be within 12%. Coverage is the primary criterion;
+// the tight bound allows for the few-percent warm-deficit bias that
+// two-level warming (sample.Plan.ModelWarm) carries on supply-side
+// metrics — the model-warm tail re-converges trainable state but not
+// perfectly, and the residual shows up as a small systematic offset on
+// cache-access rates. The engine-induced i-cache miss rate is exempt
+// from the tight bound entirely (coverage still enforced): those
+// misses arrive in rare working-set-transition bursts — most units see
+// zero, a few see hundreds — so 32 units cannot pin the mean tightly
+// and the interval's width honestly reports that. Everything here is
+// deterministic — the stream, the plan and the simulators — so this is
+// a fixed property of the implementation, not a flaky statistical draw.
+func TestSampledCoversFullRunCI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-instruction full-detail reference run")
+	}
+	r, err := SamplingStudy(DefaultBudget, []string{"gcc", "go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if !row.Covered {
+			t.Errorf("%s/%s: full-detail %.4f outside sampled interval %s",
+				row.Bench, row.Metric, row.Full, row.Sampled)
+		}
+		if row.RelErrPct > 12 && row.Metric != "icache-miss/KI" {
+			t.Errorf("%s/%s: sampled estimate off by %.1f%% (full %.4f, sampled %s)",
+				row.Bench, row.Metric, row.RelErrPct, row.Full, row.Sampled)
+		}
+		t.Logf("%s/%-16s full %8.4f sampled %-16s rel-err %5.2f%%",
+			row.Bench, row.Metric, row.Full, row.Sampled, row.RelErrPct)
+	}
+	for _, b := range r.Benchs {
+		if b.DetailPct > 12 {
+			t.Errorf("%s: %.1f%% of the stream ran in detail, want ~10%%", b.Bench, b.DetailPct)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package emulator
+
+import (
+	"testing"
+
+	"tracepre/internal/isa"
+	"tracepre/internal/program"
+	"tracepre/internal/workload"
+)
+
+// archState captures everything architecturally visible.
+type archState struct {
+	regs      [isa.NumRegs]uint32
+	pc        uint32
+	committed uint64
+	halted    bool
+	memSum    uint64
+}
+
+func snapshot(e *Emulator) archState {
+	return archState{
+		regs:      e.Regs,
+		pc:        e.PC,
+		committed: e.Committed(),
+		halted:    e.Halted(),
+		memSum:    e.Mem.Checksum(),
+	}
+}
+
+// TestFastForwardArchEquivalence drives one emulator through a sampled
+// run's phase schedule — alternating FastForward skips with Step-driven
+// detail units — and a reference emulator through Step alone, comparing
+// the full architectural state (registers, PC, commit count, memory
+// checksum) at every phase boundary. Fast-forward must be bit-identical
+// detailed execution minus the Dyn records, or sampled measurement
+// units would start from a machine state the full run never reaches.
+func TestFastForwardArchEquivalence(t *testing.T) {
+	for _, bench := range []string{"compress", "gcc"} {
+		t.Run(bench, func(t *testing.T) {
+			p, err := workload.ByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff, ref := New(im), New(im)
+
+			step := func(e *Emulator, n uint64) uint64 {
+				var k uint64
+				for k < n {
+					if _, err := e.Step(); err != nil {
+						if err == ErrHalted {
+							break
+						}
+						t.Fatal(err)
+					}
+					k++
+				}
+				return k
+			}
+
+			// A systematic plan with deliberately awkward lengths: detail
+			// units and skips that do not divide each other or any chunk
+			// size.
+			const detail, skip = 1_003, 17_389
+			for i := 0; i < 12; i++ {
+				step(ff, detail)
+				step(ref, detail)
+				if got, want := snapshot(ff), snapshot(ref); got != want {
+					t.Fatalf("state diverged after detail unit %d:\n got %+v\nwant %+v", i, got, want)
+				}
+				n, err := ff.FastForward(skip)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m := step(ref, skip); m != n {
+					t.Fatalf("fast-forward committed %d instructions, detailed run %d", n, m)
+				}
+				if got, want := snapshot(ff), snapshot(ref); got != want {
+					t.Fatalf("state diverged after skip %d:\n got %+v\nwant %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardHalt pins the halt contract: FastForward commits the
+// halt instruction, stops early, and further calls return (0, nil) —
+// the same budget accounting as Run.
+func TestFastForwardHalt(t *testing.T) {
+	im := build(t, func(b *program.Builder) {
+		b.ALUI(isa.OpAddI, 1, 0, 5) // r1 = 5
+		b.Label("loop")
+		b.ALUI(isa.OpAddI, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, 0, "loop")
+		b.Halt()
+	})
+	ref := New(im)
+	total, err := ref.Run(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Halted() {
+		t.Fatal("reference run did not halt")
+	}
+	e := New(im)
+	n, err := e.FastForward(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total || !e.Halted() {
+		t.Fatalf("FastForward to halt committed %d (halted=%v), Run committed %d", n, e.Halted(), total)
+	}
+	if m, err := e.FastForward(10); err != nil || m != 0 {
+		t.Fatalf("FastForward after halt = (%d, %v), want (0, nil)", m, err)
+	}
+	if got, want := snapshot(e), snapshot(ref); got != want {
+		t.Fatalf("halt state diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// BenchmarkFastForward measures the functional-only skip rate — the
+// fast-forward phase's cost per instruction, the denominator of sampled
+// simulation's speedup.
+func BenchmarkFastForward(b *testing.B) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e := New(im)
+	var done uint64
+	for i := 0; i < b.N; i++ {
+		n, err := e.FastForward(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += n
+		if n == 0 { // halted: start over
+			b.StopTimer()
+			e = New(im)
+			b.StartTimer()
+		}
+	}
+	_ = done
+}

@@ -384,6 +384,76 @@ func (f *Frontend) Supply(tr *trace.Trace, dyns []emulator.Dyn, now uint64) Supp
 	return sup
 }
 
+// SupplyFast is the sampled fast-forward counterpart of Supply+Retire:
+// it keeps every trainable fetch-side structure current — supplier
+// contents, i-cache tags, bimodal/indirect-target predictors, the
+// next-trace predictor — while touching no timing state and no
+// statistics. It never calls Predict (which counts a prediction), never
+// charges the slow-path port, and fills missing traces directly: the
+// supplier occupancy a measurement unit starts from must match a full
+// run's, but the cycles spent getting there are exactly what the skip
+// elides. The return-address stack is not warmed — it is read only on
+// the slow path, whose transient state a warm unit rebuilds anyway.
+// observePrecon additionally keeps the preconstruction engine live
+// across the skip: demand-fetch notices, the retiring stream, and a
+// granted idle allowance (the caller's estimate of the port cycles the
+// engine would have stolen — fast-forward models no timing, so the
+// caller derives it from the trace length and a nominal IPC). Without
+// it the skip would drain the buffers through probe-consume while the
+// engine never refills them, and every measurement unit would start
+// from a preconstruction state no full run ever exhibits. now is the
+// caller's pseudo-clock for the port (monotonic with the real cycle
+// clock across phase switches).
+func (f *Frontend) SupplyFast(tr *trace.Trace, dyns []emulator.Dyn, now uint64, idle int, observePrecon bool) {
+	id := tr.ID()
+	if f.eng != nil && observePrecon {
+		f.eng.OnDemandFetch(id.Start)
+	}
+	hit := false
+	for i := range f.suppliers {
+		got, h, promote := f.suppliers[i].s.Probe(id)
+		if !h {
+			continue
+		}
+		if promote {
+			f.primary.Fill(got)
+		}
+		hit = true
+		break
+	}
+	if !hit {
+		// Touch the i-cache lines the slow path would have fetched
+		// through — tag and recency only, no port, no counters.
+		lineMask := ^(uint32(f.ic.Config().LineBytes) - 1)
+		last := ^uint32(0)
+		for _, pc := range tr.PCs {
+			if la := pc & lineMask; la != last {
+				f.ic.Warm(la)
+				last = la
+			}
+		}
+		tr = f.store.Intern(tr)
+		f.primary.Fill(tr)
+	}
+	for i := range dyns {
+		d := &dyns[i]
+		switch d.Inst.Classify() {
+		case isa.ClassBranch:
+			f.bim.Update(d.PC, d.Taken)
+		case isa.ClassJumpInd:
+			f.itb.Update(d.PC, d.NextPC)
+		}
+	}
+	f.pred.Train(tr)
+	if f.eng != nil && observePrecon {
+		f.port.SetClock(now)
+		if idle > 0 {
+			f.eng.Step(idle)
+		}
+		f.eng.ObserveBatch(dyns)
+	}
+}
+
 // ReplayWrongPath feeds the predicted-but-wrong trace's dispatch to the
 // preconstruction engine as a speculative path, then flushes it — the
 // machine dispatched the wrong trace before the mispredicted branch

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"tracepre/internal/pipeline"
+	"tracepre/internal/sample"
 	"tracepre/internal/trace"
 )
 
@@ -45,7 +46,14 @@ func ResetDecodePasses() { decodePasses.Store(0) }
 // runCell executes one sweep cell on the per-cell path (unique stream,
 // or broadcast/replay disabled), labelled for CPU profiles so
 // -cpuprofile output from cmd/tablegen attributes time per cell.
-func runCell(ctx context.Context, m Matrix, c *Cell) error {
+func runCell(ctx context.Context, m Matrix, c *Cell, plan *sample.Plan) error {
+	if plan != nil {
+		var err error
+		pprof.Do(ctx, pprof.Labels("bench", c.Bench, "point", c.Point.Name), func(context.Context) {
+			err = runCellSampled(m, c, plan)
+		})
+		return err
+	}
 	im, err := ImageSeed(c.Bench, c.Seed)
 	if err != nil {
 		return fmt.Errorf("harness: %s: %s: %w", m.Name, c.Bench, err)
@@ -69,10 +77,37 @@ func runCell(ctx context.Context, m Matrix, c *Cell) error {
 // storage sizes), trace selection is also performed once per group and
 // members consume pre-segmented traces (RunTrace); otherwise each
 // member segments the shared chunks itself (RunChunk).
-func broadcastRun(ctx context.Context, m Matrix, cells []*Cell) error {
+func broadcastRun(ctx context.Context, m Matrix, cells []*Cell, plan *sample.Plan) error {
 	bench, seed := cells[0].Bench, cells[0].Seed
 	wrap := func(c *Cell, err error) error {
 		return fmt.Errorf("harness: %s: %s/%s: %w", m.Name, bench, c.Point.Name, err)
+	}
+	shared := true
+	sel := cells[0].Point.Cfg.Select
+	for _, c := range cells[1:] {
+		if c.Point.Cfg.Select != sel {
+			shared = false
+			break
+		}
+	}
+	if plan != nil {
+		// Sampled groups share phase schedules only over a shared trace
+		// sequence; a mixed-selection group falls back to per-cell
+		// sampled runs (correct, just without the shared segmentation).
+		var err error
+		labels := pprof.Labels("bench", bench, "point", fmt.Sprintf("broadcast(%d)", len(cells)))
+		pprof.Do(ctx, labels, func(context.Context) {
+			if shared {
+				err = broadcastRunSampled(m, cells, sel, plan)
+				return
+			}
+			for _, c := range cells {
+				if err = runCellSampled(m, c, plan); err != nil {
+					return
+				}
+			}
+		})
+		return err
 	}
 	im, err := ImageSeed(bench, seed)
 	if err != nil {
@@ -90,14 +125,6 @@ func broadcastRun(ctx context.Context, m Matrix, cells []*Cell) error {
 		}
 		if err = sims[i].StartChunked(m.Budget); err != nil {
 			return wrap(c, err)
-		}
-	}
-	shared := true
-	sel := cells[0].Point.Cfg.Select
-	for _, c := range cells[1:] {
-		if c.Point.Cfg.Select != sel {
-			shared = false
-			break
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"tracepre/internal/pipeline"
+	"tracepre/internal/sample"
 )
 
 // ConfigPoint is one named simulator configuration of a sweep.
@@ -94,6 +95,12 @@ type Cell struct {
 	Seed   int64
 	Point  ConfigPoint
 	Result pipeline.Result
+
+	// Sample carries the per-interval statistics when the sweep ran
+	// under WithSampling; nil for full-detail runs. A sampled cell's
+	// Result is the aggregate over its measurement units, so metric
+	// extractors work on it unchanged.
+	Sample *sample.Stats
 }
 
 // cellKey indexes a Grid.
@@ -160,6 +167,7 @@ type Option func(*runOptions)
 type runOptions struct {
 	progress ProgressFunc
 	workers  int
+	sampling *sample.Plan
 }
 
 // WithProgress registers a progress callback: one call after stream
@@ -222,6 +230,19 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 			o.workers = n
 		}
 	}
+	if o.sampling == nil {
+		if p, ok := ctx.Value(samplingCtxKey{}).(sample.Plan); ok {
+			o.sampling = &p
+		}
+	}
+	if o.sampling != nil {
+		if err := o.sampling.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: matrix %q: %w", m.Name, err)
+		}
+		if !ReplayOn() {
+			return nil, fmt.Errorf("harness: matrix %q: %w", m.Name, errSamplingNeedsReplay)
+		}
+	}
 
 	g := &Grid{Matrix: m, index: map[cellKey]int{}}
 	for _, b := range m.Benches {
@@ -269,13 +290,13 @@ func Run(ctx context.Context, m Matrix, opts ...Option) (*Grid, error) {
 		idx := groups[gi]
 		var err error
 		if len(idx) == 1 {
-			err = runCell(ctx, m, &g.Cells[idx[0]])
+			err = runCell(ctx, m, &g.Cells[idx[0]], o.sampling)
 		} else {
 			cells := make([]*Cell, len(idx))
 			for j, i := range idx {
 				cells[j] = &g.Cells[i]
 			}
-			err = broadcastRun(ctx, m, cells)
+			err = broadcastRun(ctx, m, cells, o.sampling)
 		}
 		if err != nil {
 			return err

@@ -118,6 +118,16 @@ type Config struct {
 	// preconstruction to be enabled.
 	AdaptivePartition bool
 
+	// FFObservePrecon keeps the preconstruction engine live through the
+	// fast-forward phase of a sampled run: demand-fetch notices, the
+	// retiring stream, and an idle-cycle allowance estimated from the
+	// nominal frontend IPC (fast-forward models no real timing). The
+	// sampling plan enables it by default whenever the engine exists —
+	// fast-forward probe-consumes the buffers, so an engine frozen
+	// through a long skip leaves every measurement unit starting from a
+	// drained preconstruction state no full-detail run ever exhibits.
+	FFObservePrecon bool
+
 	// FullTiming selects the detailed backend model. When false, the
 	// backend is approximated by a fixed drain rate (FrontendIPC),
 	// which is much faster and sufficient for the miss-rate and

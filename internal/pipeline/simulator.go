@@ -9,6 +9,7 @@ import (
 	"tracepre/internal/cache"
 	"tracepre/internal/emulator"
 	"tracepre/internal/frontend"
+	"tracepre/internal/isa"
 	"tracepre/internal/mem"
 	"tracepre/internal/precon"
 	"tracepre/internal/program"
@@ -131,6 +132,29 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / float64(r.Cycles)
 }
 
+// Phase selects how the simulator processes demanded traces during a
+// sampled run (internal/sample). The zero value is PhaseMeasure — full
+// detail with statistics — so non-sampled runs behave identically with
+// no configuration.
+type Phase uint8
+
+const (
+	// PhaseMeasure runs full detail and accumulates statistics. This is
+	// the only phase a non-sampled run ever sees.
+	PhaseMeasure Phase = iota
+	// PhaseFastForward runs functional-plus-trainable-state only: the
+	// frontend's fast supply keeps suppliers, cache tags and predictors
+	// current, but no timing advances and no statistics move.
+	PhaseFastForward
+	// PhaseWarm runs full detail to re-establish timing-dependent state
+	// (port clocks, engine progress, backend occupancy) before a
+	// measurement unit. The pipeline treats it exactly like
+	// PhaseMeasure; the sampling layer freezes statistics around it by
+	// differencing Snapshot results at measurement boundaries, so warm
+	// activity never needs per-counter guards on the hot path.
+	PhaseWarm
+)
+
 // Simulator is one configured trace processor bound to a program image.
 // The fetch side — trace suppliers, slow-path port, predictors, and the
 // preconstruction engine — lives in frontend.Frontend; the simulator
@@ -145,13 +169,22 @@ type Simulator struct {
 	be  *backend
 	mem *mem.Hierarchy // shared by I-side, D-side, and precon fetches
 
-	res Result
-	ran bool      // Run/RunSource/StartChunked consumed this simulator
-	ck  *chunkRun // resumable chunked-run state (nil outside StartChunked..Finish)
+	res   Result
+	ran   bool      // Run/RunSource/StartChunked consumed this simulator
+	ck    *chunkRun // resumable chunked-run state (nil outside StartChunked..Finish)
+	phase Phase
 
 	fetchFree   uint64
 	lastRetire  uint64
 	lastResolve uint64
+
+	// Observed port-idle calibration from detailed phases: idleSum is
+	// the engine idle granted, elapsedSum the retire-to-retire cycles it
+	// was granted over. Fast-forward scales its nominal drain by their
+	// ratio so the engine advances at the machine's own measured pace
+	// rather than as if the port were always free.
+	idleSum    uint64
+	elapsedSum uint64
 
 	window WindowStat // accumulating current window (WindowInstrs > 0)
 }
@@ -248,6 +281,34 @@ func MustNew(im *program.Image, cfg Config) *Simulator {
 
 // Frontend exposes the composed fetch side for diagnostics and tests.
 func (s *Simulator) Frontend() *frontend.Frontend { return s.fe }
+
+// Config returns the configuration the simulator was built with.
+// External drivers (the sampling runner, broadcast scheduling) read it
+// to segment the stream with the simulator's own selection rules.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// SetPhase switches the simulator's processing phase. The sampling
+// runner calls it at phase boundaries; phase changes take effect at the
+// next demanded trace, so they land exactly on trace boundaries.
+func (s *Simulator) SetPhase(p Phase) { s.phase = p }
+
+// Phase returns the current processing phase.
+func (s *Simulator) Phase() Phase { return s.phase }
+
+// SetFFObserve overrides Config.FFObservePrecon mid-run: whether
+// fast-forwarded traces keep the preconstruction engine live. The
+// sampling runner toggles this to confine engine stepping to the tail
+// of each fast-forward stretch (sample.Plan.EngineWarm); it has no
+// effect outside PhaseFastForward.
+func (s *Simulator) SetFFObserve(on bool) { s.cfg.FFObservePrecon = on }
+
+// Snapshot folds the component statistics into a Result without sealing
+// the run: the sampling layer differences Snapshot results taken at
+// measurement-unit boundaries to capture per-interval statistics while
+// warm and fast-forward activity between units cancels out. Valid
+// during a chunked run; the returned value is independent of later
+// progress.
+func (s *Simulator) Snapshot() Result { return s.fold() }
 
 // PreconEngine exposes the preconstruction engine (nil when disabled)
 // for diagnostics and the anatomy example.
@@ -426,33 +487,41 @@ func (s *Simulator) runSource(src emulator.Source, budget uint64) (Result, error
 
 // finalize folds the component statistics into the Result after the
 // stream is exhausted.
-func (s *Simulator) finalize() {
+func (s *Simulator) finalize() { s.res = s.fold() }
+
+// fold combines the running Result with the current component counters
+// into a complete Result, without mutating any simulator state. Both
+// the end-of-run finalize and the mid-run Snapshot are this one fold.
+func (s *Simulator) fold() Result {
+	res := s.res
 	fs := s.fe.Stats()
-	s.res.Frontend = fs
-	s.res.TCHits = fs.Suppliers[0].Hits
+	res.Frontend = fs
+	res.TCHits = fs.Suppliers[0].Hits
+	res.PreconSupplied = 0
 	for _, sp := range fs.Suppliers[1:] {
-		s.res.PreconSupplied += sp.Hits
+		res.PreconSupplied += sp.Hits
 	}
-	s.res.TCMisses = fs.Slow.Builds
-	s.res.SlowPathInstrs = fs.Slow.Instrs
-	s.res.SlowICAccesses = fs.Slow.ICAccesses
-	s.res.SlowICMisses = fs.Slow.ICMisses
-	s.res.InstrsFromICMisses = fs.Slow.InstrsFromICMisses
-	s.res.SlowBranchMisp = fs.Slow.BranchMisp
-	s.res.TotalICMisses = s.fe.TotalICMisses()
-	s.res.Precon = s.fe.PreconStats()
-	s.res.Pred = s.fe.PredStats()
+	res.TCMisses = fs.Slow.Builds
+	res.SlowPathInstrs = fs.Slow.Instrs
+	res.SlowICAccesses = fs.Slow.ICAccesses
+	res.SlowICMisses = fs.Slow.ICMisses
+	res.InstrsFromICMisses = fs.Slow.InstrsFromICMisses
+	res.SlowBranchMisp = fs.Slow.BranchMisp
+	res.TotalICMisses = s.fe.TotalICMisses()
+	res.Precon = s.fe.PreconStats()
+	res.Pred = s.fe.PredStats()
 	if s.be != nil {
-		s.res.Loads = s.be.loads
-		s.res.DCacheMisses = s.be.dcacheMisses
-		s.res.ARBForwards = s.be.arbForwards
+		res.Loads = s.be.loads
+		res.DCacheMisses = s.be.dcacheMisses
+		res.ARBForwards = s.be.arbForwards
 	}
 	if share, adjusts, ok := s.fe.AdaptiveStats(); ok {
-		s.res.AdaptivePBShare = share
-		s.res.AdaptiveAdjusts = adjusts
+		res.AdaptivePBShare = share
+		res.AdaptiveAdjusts = adjusts
 	}
-	s.res.Intern = s.fe.StoreStats()
-	s.res.Memory = s.mem.Stats()
+	res.Intern = s.fe.StoreStats()
+	res.Memory = s.mem.Stats()
+	return res
 }
 
 // ReleaseStorage drains every trace supplier, returning interned
@@ -472,6 +541,10 @@ func (s *Simulator) InternStore() *trace.Store { return s.fe.Store() }
 // segmenter (valid only for this call); the frontend's miss path
 // interns it before it escapes into a store.
 func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
+	if s.phase == PhaseFastForward {
+		s.fastTrace(tr, dyns)
+		return
+	}
 	n := tr.Len()
 	s.res.Traces++
 	s.res.Instructions += uint64(n)
@@ -533,10 +606,57 @@ func (s *Simulator) onTrace(tr *trace.Trace, dyns []emulator.Dyn) {
 	// The idle interval starts at the previous retirement, so that is
 	// where the port clock walks from.
 	idle := int64(retire-prevRetire) - int64(sup.SlowBusy)
+	if idle > 0 {
+		s.idleSum += uint64(idle)
+	}
+	s.elapsedSum += retire - prevRetire
 	s.fe.Retire(sup.Demand, idle, dyns, prevRetire)
 
 	if s.cfg.WindowInstrs > 0 && s.window.Instructions >= s.cfg.WindowInstrs {
 		s.res.Windows = append(s.res.Windows, s.window)
 		s.window = WindowStat{}
+	}
+}
+
+// fastTrace processes one demanded trace in the fast-forward phase: the
+// frontend's fast supply keeps every trainable fetch-side structure
+// warm, the data cache (full timing only) keeps its tags and recency
+// current, and no statistics move — interval deltas never see this
+// activity. The cycle clock advances nominally (trace length over the
+// frontend IPC): the skipped instructions took time in the machine
+// being modelled, and keeping the clock monotonic lets the engine's
+// port timestamps and the warm phase resume without time running
+// backwards. The remaining timing-dependent state (backend occupancy,
+// slow-path transients) is deliberately left for the warm phase.
+func (s *Simulator) fastTrace(tr *trace.Trace, dyns []emulator.Dyn) {
+	ipc := s.cfg.FrontendIPC
+	if ipc <= 0 {
+		ipc = 2
+	}
+	drain := uint64(float64(len(dyns))/ipc + 0.5)
+	if drain == 0 {
+		drain = 1
+	}
+	prev := s.lastRetire
+	s.lastRetire = prev + drain
+	s.lastResolve = s.lastRetire
+	s.fetchFree = s.lastRetire
+	// The engine's idle allowance is the nominal drain scaled by the
+	// idle fraction the detailed phases actually observed — granting the
+	// whole drain would let the engine run as if the port were never
+	// contended, racing ahead of anything a full-detail run exhibits.
+	idle := drain
+	if s.elapsedSum > 0 {
+		idle = uint64(float64(drain) * float64(s.idleSum) / float64(s.elapsedSum))
+	}
+	s.fe.SupplyFast(tr, dyns, prev, int(idle), s.cfg.FFObservePrecon)
+	if s.dc != nil {
+		for i := range dyns {
+			d := &dyns[i]
+			switch d.Inst.Op {
+			case isa.OpLoad, isa.OpStore:
+				s.dc.Warm(d.MemAddr)
+			}
+		}
 	}
 }

@@ -1,0 +1,312 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"tracepre/internal/emulator"
+	"tracepre/internal/frontend"
+	"tracepre/internal/pipeline"
+	"tracepre/internal/workload"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := DefaultPlan()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("DefaultPlan invalid: %v", err)
+	}
+	for name, p := range map[string]Plan{
+		"zero detail":   {Detail: 0, Skip: 100},
+		"zero skip":     {Detail: 100, Skip: 0},
+		"warm > skip":   {Detail: 100, Warm: 200, Skip: 100},
+		"negative ci":   {Detail: 100, Skip: 100, TargetRelCI: -0.1},
+		"negative mins": {Detail: 100, Skip: 100, MinIntervals: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}
+
+func TestPlanSchedule(t *testing.T) {
+	p := Plan{Detail: 10, Warm: 20, Skip: 90}
+	if got := p.Period(); got != 100 {
+		t.Errorf("Period = %d, want 100", got)
+	}
+	if got := p.DetailFraction(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("DetailFraction = %v, want 0.3", got)
+	}
+	// Unit i occupies [100i+90, 100(i+1)): complete when 100(i+1) <= budget.
+	for _, c := range []struct {
+		budget uint64
+		want   int
+	}{{0, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 2}, {1000, 10}, {1099, 10}, {1100, 11}} {
+		if got := p.Intervals(c.budget); got != c.want {
+			t.Errorf("Intervals(%d) = %d, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestPlanForBudget(t *testing.T) {
+	// Every scale yields a valid plan with enough units for Student-t
+	// intervals but not vastly more (extra budget should lengthen the
+	// skips, not multiply the warming).
+	for _, budget := range []uint64{200_000, 2_000_000, 20_000_000, 200_000_000} {
+		p := PlanForBudget(budget)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("PlanForBudget(%d) invalid: %v", budget, err)
+		}
+		if n := p.Intervals(budget); n < 20 || n > 32 {
+			t.Errorf("PlanForBudget(%d) yields %d intervals, want 20..32", budget, n)
+		}
+	}
+	// Small budgets halve every length, keeping the detailed fraction.
+	for _, budget := range []uint64{200_000, 2_000_000} {
+		p := PlanForBudget(budget)
+		df, want := p.DetailFraction(), DefaultPlan().DetailFraction()
+		if math.Abs(df-want) > 0.01 {
+			t.Errorf("PlanForBudget(%d) detail fraction %v, want ~%v", budget, df, want)
+		}
+	}
+	// Large budgets stretch the skip: unit, warm-up and warm-model
+	// lengths keep their default absolute values while the detailed
+	// fraction shrinks — that is the paper-scale economy.
+	big, def := PlanForBudget(200_000_000), DefaultPlan()
+	if big.Detail != def.Detail || big.Warm != def.Warm ||
+		big.ModelWarm != def.ModelWarm || big.EngineWarm != def.EngineWarm {
+		t.Errorf("paper-scale budget must keep default warming lengths, got %+v", big)
+	}
+	if big.Skip <= def.Skip {
+		t.Errorf("paper-scale budget must stretch the skip, got %d", big.Skip)
+	}
+	if df := big.DetailFraction(); df > 0.01 {
+		t.Errorf("paper-scale detail fraction %v, want under 1%%", df)
+	}
+}
+
+func TestDeltaResult(t *testing.T) {
+	start := pipeline.Result{
+		Instructions:    1000,
+		Cycles:          400,
+		TCMisses:        10,
+		AdaptivePBShare: 0.25,
+		Frontend: frontend.Stats{Suppliers: []frontend.SupplierStats{
+			{Name: "trace-cache", Probes: 100, Hits: 90},
+		}},
+	}
+	start.Intern.Live = 5
+	end := pipeline.Result{
+		Instructions:    1500,
+		Cycles:          600,
+		TCMisses:        14,
+		AdaptivePBShare: 0.5,
+		Frontend: frontend.Stats{Suppliers: []frontend.SupplierStats{
+			{Name: "trace-cache", Probes: 160, Hits: 140},
+		}},
+	}
+	end.Intern.Live = 7
+
+	d := deltaResult(end, start)
+	if d.Instructions != 500 || d.Cycles != 200 || d.TCMisses != 4 {
+		t.Errorf("counter deltas wrong: %+v", d)
+	}
+	if d.AdaptivePBShare != 0.5 || d.Intern.Live != 7 {
+		t.Errorf("gauges must keep end values: share %v live %d", d.AdaptivePBShare, d.Intern.Live)
+	}
+	sp := d.Frontend.Suppliers[0]
+	if sp.Probes != 60 || sp.Hits != 50 || sp.Name != "trace-cache" {
+		t.Errorf("nested slice delta wrong: %+v", sp)
+	}
+	// The delta owns its slices: mutating it must not write through to
+	// the end snapshot.
+	d.Frontend.Suppliers[0].Probes = 9999
+	if end.Frontend.Suppliers[0].Probes != 160 {
+		t.Errorf("delta aliases the end snapshot's supplier slice")
+	}
+
+	sum := addResult(deltaResult(end, start), deltaResult(end, start))
+	if sum.Instructions != 1000 || sum.Frontend.Suppliers[0].Probes != 120 {
+		t.Errorf("addResult wrong: %+v", sum)
+	}
+	if sum.AdaptivePBShare != 0.5 {
+		t.Errorf("addResult gauge must keep the newer value, got %v", sum.AdaptivePBShare)
+	}
+}
+
+// record is the shared test fixture: one recorded gcc stream.
+func record(t testing.TB, bench string, budget uint64) *emulator.Stream {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := emulator.Record(im, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newSim(t testing.TB, bench string, cfg pipeline.Config) *pipeline.Simulator {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.MustNew(im, cfg)
+}
+
+func TestSampledRunInvariants(t *testing.T) {
+	const budget = 200_000
+	stream := record(t, "gcc", budget)
+	cfg := pipeline.DefaultConfig().WithPrecon(64)
+
+	for _, warmModel := range []bool{true, false} {
+		plan := Plan{Detail: 5_000, Warm: 5_000, Skip: 20_000, WarmModel: warmModel}
+		st, err := Run(newSim(t, "gcc", cfg), stream, plan, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plan.Intervals(budget)
+		// Trace-boundary jitter can push the final unit past the stream
+		// end, dropping it — but never more than one.
+		if n := len(st.Intervals); n != want && n != want-1 {
+			t.Errorf("warmModel=%v: %d intervals, want %d (or one fewer)", warmModel, n, want)
+		}
+		// The stream's final partial trace is dropped (as in RunStream),
+		// so the consumed count can fall short by under one trace.
+		if st.Streamed > budget || st.Streamed < budget-16 {
+			t.Errorf("warmModel=%v: streamed %d, want within [%d, %d]", warmModel, st.Streamed, budget-16, budget)
+		}
+		total := st.FFInstrs + st.WarmInstrs + st.MeasuredInstrs
+		if warmModel && total != st.Streamed {
+			t.Errorf("phase counts %d do not sum to streamed %d", total, st.Streamed)
+		}
+		var sum uint64
+		for i, iv := range st.Intervals {
+			if iv.Index != i {
+				t.Errorf("interval %d has index %d", i, iv.Index)
+			}
+			if iv.Instrs != iv.Res.Instructions {
+				t.Errorf("interval %d: Instrs %d != delta Instructions %d", i, iv.Instrs, iv.Res.Instructions)
+			}
+			// Jitter: a unit closes on the trace that crosses the
+			// boundary, so at most one trace (16 instrs) of overshoot.
+			if iv.Instrs < plan.Detail || iv.Instrs > plan.Detail+16 {
+				t.Errorf("interval %d length %d outside [%d, %d]", i, iv.Instrs, plan.Detail, plan.Detail+16)
+			}
+			if iv.Res.Cycles == 0 || iv.Res.IPC() <= 0 {
+				t.Errorf("interval %d has no timing: %+v", i, iv.Res)
+			}
+			sum += iv.Instrs
+		}
+		if st.Aggregate.Instructions != sum {
+			t.Errorf("aggregate instructions %d != interval sum %d", st.Aggregate.Instructions, sum)
+		}
+		if st.MeasuredInstrs < sum {
+			t.Errorf("measured %d < captured %d", st.MeasuredInstrs, sum)
+		}
+		if ci := st.IPCCI(); ci.Mean <= 0 || ci.N != len(st.Intervals) {
+			t.Errorf("IPC CI degenerate: %+v", ci)
+		}
+	}
+}
+
+// TestSampledTracksFullDetail drives the same recorded stream through a
+// full-detail run and a sampled run and requires the sampled mean of
+// the headline metrics to land near the full-detail value — the
+// correctness claim of sampling, at unit-test scale. The tight
+// statistical version (every metric inside its 95% interval at 2M
+// instructions) is the ext-sampling experiment.
+func TestSampledTracksFullDetail(t *testing.T) {
+	const budget = 200_000
+	stream := record(t, "gcc", budget)
+	cfg := pipeline.DefaultConfig().WithPrecon(64)
+
+	full, err := newSim(t, "gcc", cfg).RunStream(stream, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(newSim(t, "gcc", cfg), stream, PlanForBudget(budget), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		f    func(pipeline.Result) float64
+	}{
+		{"ipc", pipeline.Result.IPC},
+		{"tc-miss/KI", pipeline.Result.TCMissPerKI},
+		{"icache-instr/KI", pipeline.Result.ICacheInstrsPerKI},
+	}
+	for _, c := range checks {
+		want := c.f(full)
+		ci := st.MetricCI(c.f)
+		relErr := math.Abs(ci.Mean-want) / math.Abs(want)
+		if relErr > 0.25 {
+			t.Errorf("%s: sampled %v vs full %v (rel err %.1f%%)", c.name, ci.Mean, want, 100*relErr)
+		}
+		t.Logf("%s: full %.4f sampled %s (rel err %.2f%%)", c.name, want, ci, 100*relErr)
+	}
+}
+
+func TestAdaptiveStopsEarly(t *testing.T) {
+	const budget = 400_000
+	stream := record(t, "compress", budget)
+	cfg := pipeline.DefaultConfig()
+
+	plan := Plan{Detail: 2_000, Warm: 2_000, Skip: 8_000, WarmModel: true,
+		TargetRelCI: 0.5, MinIntervals: 4}
+	st, err := Run(newSim(t, "compress", cfg), stream, plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streamed >= budget {
+		t.Fatalf("adaptive run consumed the whole budget (%d intervals, CI %s)",
+			len(st.Intervals), st.IPCCI())
+	}
+	if n := len(st.Intervals); n < 4 {
+		t.Errorf("stopped before MinIntervals: %d", n)
+	}
+	if ci := st.IPCCI(); ci.RelHalf() > 0.5 {
+		t.Errorf("stopped with relative half-width %v above target", ci.RelHalf())
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	if _, err := NewRunner(newSim(t, "gcc", cfg), Plan{}, 1000); err == nil {
+		t.Error("NewRunner must reject an invalid plan")
+	}
+	if _, err := NewRunner(newSim(t, "gcc", cfg), DefaultPlan(), 0); err == nil {
+		t.Error("NewRunner must reject a zero budget")
+	}
+	sim := newSim(t, "gcc", cfg)
+	// Skip == Warm leaves no fast-forward segment, so this runner starts
+	// in detailed warm-up.
+	r, err := NewRunner(sim, Plan{Detail: 100, Warm: 50, Skip: 50}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SkipRaw(10); err == nil {
+		t.Error("SkipRaw outside fast-forward must fail")
+	}
+	if _, err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Finish(); err == nil {
+		t.Error("second Finish must fail")
+	}
+	// The runner claimed the simulator's single run.
+	if _, err := sim.Run(10); err != pipeline.ErrRunTwice {
+		t.Errorf("runner must claim the simulator's run, got %v", err)
+	}
+}

@@ -43,8 +43,13 @@ type Summary struct {
 }
 
 // Summarize computes mean, sample standard deviation, minimum and
-// maximum of a non-empty series.
+// maximum of a series. For fewer than two samples no dispersion
+// estimate exists, so Std is defined as 0 (not NaN); an empty series
+// yields the zero Summary.
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
 	mean := 0.0
 	for _, x := range xs {
 		mean += x

@@ -169,13 +169,34 @@ func (p *Predictor) Predict() (id trace.ID, ok bool) {
 // Update trains the predictor with the actual next trace and advances
 // the path history. The actual trace's control character drives the
 // return history stack: traces containing calls push a history snapshot,
-// traces ending in returns restore one.
+// traces ending in returns restore one. Update trains at the indices
+// the preceding Predict captured — every demanded trace is predicted
+// before it retires, so prediction and training always agree on where
+// in the tables this path lives.
 func (p *Predictor) Update(actual *trace.Trace) {
 	id := actual.ID()
 	if p.havePred && p.predicted == id {
 		p.stats.Correct++
 	}
+	p.train(actual, id)
+}
 
+// Train trains the predictor without a paired Predict: indices are
+// computed fresh from the current history, exactly as Predict would
+// have. The sampled fast-forward path uses it — the skipped stream
+// retires without predictions, but the tables must be trained at the
+// same slots a full-detail run would train, or the path-indexed primary
+// degenerates to thrashing whichever slot the last real prediction
+// touched.
+func (p *Predictor) Train(actual *trace.Trace) {
+	p.pIdx, p.pTag, p.sIdx = p.indices()
+	p.havePred = false
+	p.train(actual, actual.ID())
+}
+
+// train is the shared table-training and history-advance tail of Update
+// and Train; id is actual.ID().
+func (p *Predictor) train(actual *trace.Trace, id trace.ID) {
 	// Train the primary (tagged) table at the indices used to predict.
 	e := &p.primary[p.pIdx]
 	switch {

@@ -46,6 +46,20 @@ func NewChunkSegmenter(cfg SelectConfig) *ChunkSegmenter {
 // trace (carried across Feed calls until it completes).
 func (cs *ChunkSegmenter) Pending() int { return cs.k }
 
+// Reset drops the partial trace and rearms selection to begin at the
+// next instruction fed — the resume-at-skip hook for sampled runs whose
+// fast-forward phase skips a stream region without segmenting it: the
+// pre-skip partial would otherwise be stitched onto instructions from
+// an arbitrarily later point, yielding a trace no machine ever fetched.
+// Selection restarts exactly as at stream start (fresh alignment
+// counter), which is also how the live machine re-fetches after any
+// redirect into unsegmented territory.
+func (cs *ChunkSegmenter) Reset() {
+	cs.k = 0
+	cs.carried = 0
+	cs.sinceBwd = -1
+}
+
 // Feed consumes instructions from chunk until a trace completes or the
 // chunk is exhausted. It returns the number of instructions consumed
 // and, when a trace completed, the borrowed trace with its dyn slice;

@@ -169,3 +169,67 @@ func TestChunkSegmenterPending(t *testing.T) {
 		t.Error("no traces produced")
 	}
 }
+
+// TestChunkSegmenterReset pins the resume-at-skip contract: after
+// Reset, a segmenter holding a partial trace produces exactly the trace
+// sequence a fresh segmenter produces from the resume point — sampled
+// runs skip stream regions without segmenting them and must not stitch
+// pre-skip instructions onto post-skip ones.
+func TestChunkSegmenterReset(t *testing.T) {
+	st := chunkRecord(t, "gcc", 50_000)
+	cfg := DefaultSelectConfig()
+
+	// Decode the whole stream into one flat slice for offset slicing.
+	var all []emulator.Dyn
+	cr := st.DecodeChunks(0)
+	for {
+		chunk, ok := cr.Next()
+		if !ok {
+			break
+		}
+		all = append(all, chunk...)
+	}
+	if err := cr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cr.Close()
+
+	segment := func(cs *ChunkSegmenter, in []emulator.Dyn) []*Trace {
+		var out []*Trace
+		for len(in) > 0 {
+			used, tr, _ := cs.Feed(in)
+			in = in[used:]
+			if tr == nil {
+				break
+			}
+			out = append(out, tr.Clone())
+		}
+		return out
+	}
+
+	for _, skipTo := range []int{20_001, 20_007, 33_333} {
+		used := NewChunkSegmenter(cfg)
+		segment(used, all[:1_000]) // leave a partial trace pending with high likelihood
+		if used.Pending() == 0 {
+			// Feed single instructions until a partial is pending so the
+			// reset has something to drop.
+			for i := 1_000; i < len(all) && used.Pending() == 0; i++ {
+				used.Feed(all[i : i+1])
+			}
+		}
+		used.Reset()
+		if used.Pending() != 0 {
+			t.Fatalf("Pending = %d after Reset, want 0", used.Pending())
+		}
+		got := segment(used, all[skipTo:])
+		want := segment(NewChunkSegmenter(cfg), all[skipTo:])
+		if len(got) != len(want) {
+			t.Fatalf("skipTo %d: %d traces after Reset, fresh segmenter %d", skipTo, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID() != want[i].ID() || got[i].Len() != want[i].Len() {
+				t.Fatalf("skipTo %d: trace %d differs after Reset: %v vs %v", skipTo, i, got[i].ID(), want[i].ID())
+			}
+		}
+	}
+}
